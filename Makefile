@@ -1,0 +1,31 @@
+# Development entry points for the triangle-listing reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || \
+		$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/orientation_showdown.py 10000
+	$(PYTHON) examples/model_vs_simulation.py 1.5 T1 descending
+	$(PYTHON) examples/asymptotic_regimes.py
+	$(PYTHON) examples/custom_distribution.py
+	$(PYTHON) examples/clustering_analysis.py 10000
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis \
+		.benchmarks benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,55 @@
+"""Shared infrastructure for the table-reproduction benchmarks.
+
+Every ``bench_table*.py`` regenerates one table of the paper's
+evaluation: it computes the same rows the paper reports (at a Python-
+tractable scale by default), prints them, and writes them to
+``benchmarks/results/`` so the run leaves an artifact trail that
+EXPERIMENTS.md references.
+
+Scale control: set ``REPRO_BENCH_FULL=1`` to use larger ``n`` grids and
+more Monte-Carlo instances (slower, closer to the paper's setup).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Larger grids when REPRO_BENCH_FULL=1 is exported.
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: Graph sizes for the simulation tables (paper: 1e4 .. 1e7).
+SIM_SIZES = [10**4, 3 * 10**4, 10**5] if FULL else [1000, 3000, 10_000]
+
+#: Monte-Carlo budget per cell (paper: 100 sequences x 100 graphs).
+N_SEQUENCES = 8 if FULL else 3
+N_GRAPHS = 8 if FULL else 2
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduction table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    print()
+    print(text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_sim_table(name: str, title: str, base_dist, truncation, cells,
+                  sizes=None, seed: int = 2017):
+    """Reproduce one of Tables 6-10 via the library generator.
+
+    Thin wrapper over
+    :func:`repro.experiments.paper_tables.simulation_table` that applies
+    the benchmark-suite scale knobs and persists the artifact. Returns
+    the assembled rows for assertions.
+    """
+    from repro.experiments.paper_tables import simulation_table
+
+    text, rows = simulation_table(
+        title, base_dist, truncation, cells,
+        sizes=sizes if sizes is not None else SIM_SIZES,
+        n_sequences=N_SEQUENCES, n_graphs=N_GRAPHS, seed=seed)
+    emit(name, text)
+    return rows

@@ -1,0 +1,74 @@
+"""Section 2.4 + 6.3: the SEI-vs-hash decision across tail indices.
+
+Sweeps Pareto alpha and applies the paper's rule (SEI wins iff the
+operation-count ratio ``w`` is below the hardware speed ratio, 94.8x on
+the authors' testbed) both on finite graphs and in the limit. The
+asserted headline: in the window alpha in (4/3, 1.5] the limit ratio is
+infinite -- T1 wins "no matter how these algorithms are implemented" --
+while outside it the single-digit cost ratio hands SEI the win on
+SIMD-class hardware.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import DescendingDegree, DiscretePareto, orient
+from repro.core.decision import (
+    PAPER_SPEED_RATIO,
+    decide_in_limit,
+    decide_on_graph,
+)
+from repro.distributions import root_truncation
+from repro.distributions.sampling import sample_degree_sequence
+from repro.graphs.generators import generate_graph
+
+from _common import FULL, emit
+
+ALPHAS = (1.40, 1.45, 1.60, 1.80, 2.20)
+N = 30_000 if FULL else 8000
+
+
+def test_decision_rule_reproduction(benchmark):
+    def run():
+        rng = np.random.default_rng(24)
+        rows = []
+        for alpha in ALPHAS:
+            dist = DiscretePareto.paper_parameterization(alpha)
+            limit = decide_in_limit(dist, t_max=1e14)
+            degrees = sample_degree_sequence(
+                dist.truncate(root_truncation(N)), N, rng)
+            graph = generate_graph(degrees, rng)
+            finite = decide_on_graph(orient(graph, DescendingDegree()))
+            rows.append((alpha, finite, limit))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"Decision rule: SEI vs hash (speed ratio "
+             f"{PAPER_SPEED_RATIO:.1f}x, n={N} for finite graphs)",
+             f"{'alpha':>6} {'w (graph)':>10} {'graph winner':>13} "
+             f"{'w (limit)':>10} {'limit winner':>13}"]
+    for alpha, finite, limit in rows:
+        w_lim = ("inf" if math.isinf(limit.cost_ratio)
+                 else f"{limit.cost_ratio:.2f}")
+        lines.append(f"{alpha:>6.2f} {finite.cost_ratio:>10.2f} "
+                     f"{finite.winner:>13} {w_lim:>10} "
+                     f"{limit.winner:>13}")
+    emit("decision_rule", "\n".join(lines))
+
+    by_alpha = {alpha: (finite, limit) for alpha, finite, limit in rows}
+    # inside the provable window the limit ratio is infinite: hash wins
+    for alpha in (1.40, 1.45):
+        assert math.isinf(by_alpha[alpha][1].cost_ratio)
+        assert by_alpha[alpha][1].winner == "hash"
+    # outside it the limit ratio is small: SEI wins on SIMD hardware
+    # (the ratio inflates as alpha approaches 1.5 from above, where
+    # E1's limit blows up while T1's stays put)
+    for alpha in (1.60, 1.80, 2.20):
+        assert by_alpha[alpha][1].cost_ratio < 20
+        assert by_alpha[alpha][1].sei_wins
+    # on every finite graph the measured ratio stays far below 94.8
+    for alpha in ALPHAS:
+        assert by_alpha[alpha][0].cost_ratio < 20
+        assert by_alpha[alpha][0].sei_wins

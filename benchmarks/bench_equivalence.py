@@ -1,0 +1,64 @@
+"""Tables 1-2 and Figures 2/4: cost decompositions of all 18 methods.
+
+Runs every instrumented lister on one heavy-tailed graph and checks its
+measured ops against the Table 1/2 decomposition into the three base
+formulas (7)-(9) -- the executable version of the paper's taxonomy.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ALL_METHODS,
+    DescendingDegree,
+    DiscretePareto,
+    generate_graph,
+    list_triangles,
+    orient,
+    sample_degree_sequence,
+)
+from repro.core.costs import cost_t1, cost_t2, cost_t3
+from repro.core.methods import METHODS
+
+from _common import FULL, emit
+
+N = 5000 if FULL else 1500
+
+
+def _graph():
+    rng = np.random.default_rng(5)
+    dist = DiscretePareto(1.7, 21.0).truncate(int(N**0.5))
+    degrees = sample_degree_sequence(dist, N, rng)
+    return generate_graph(degrees, rng)
+
+
+def test_tables_1_and_2_reproduction(benchmark):
+    graph = _graph()
+    oriented = orient(graph, DescendingDegree())
+    base = {
+        "T1": cost_t1(oriented.out_degrees),
+        "T2": cost_t2(oriented.out_degrees, oriented.in_degrees),
+        "T3": cost_t3(oriented.in_degrees),
+    }
+    results = {m: list_triangles(oriented, m, collect=False)
+               for m in ALL_METHODS}
+
+    lines = [f"Tables 1-2: measured ops vs decomposition "
+             f"(n={N}, m={graph.m}, descending order)",
+             f"{'method':>7} {'components':>12} {'measured':>12} "
+             f"{'formula':>12} {'triangles':>10}"]
+    counts = set()
+    for name in ALL_METHODS:
+        method = METHODS[name]
+        expected = sum(base[c] for c in method.components)
+        r = results[name]
+        counts.add(r.count)
+        lines.append(f"{name:>7} {'+'.join(method.components):>12} "
+                     f"{r.ops:>12} {int(expected):>12} {r.count:>10}")
+        assert r.ops == int(expected), name
+    emit("tables01_02", "\n".join(lines))
+    assert len(counts) == 1  # every method lists the same triangles
+
+    benchmark.pedantic(
+        lambda: list_triangles(oriented, "E1", collect=False),
+        rounds=3 if FULL else 1, iterations=1)

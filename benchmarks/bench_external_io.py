@@ -1,0 +1,48 @@
+"""External-memory E1: CPU invariance and the O(k m) I/O law.
+
+The paper defers I/O modeling to [17] (sections 2.3, 8); this bench
+exercises the substrate that future work presupposes: across partition
+counts ``k``, the out-of-core E1's CPU operations are *identical* to
+the in-memory run (partitioning never changes what is compared), while
+read volume grows linearly in ``k`` -- candidate partition ``c`` is
+re-read once per source partition ``s >= c``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DescendingDegree, list_triangles, orient
+from repro.experiments.twitter import twitter_like_graph
+from repro.external import external_e1
+
+from _common import FULL, emit
+
+N = 30_000 if FULL else 8000
+KS = (1, 2, 4, 8, 16)
+
+
+def test_external_io_reproduction(benchmark):
+    graph = twitter_like_graph(n=N, alpha=1.7)
+    oriented = orient(graph, DescendingDegree())
+    reference = list_triangles(oriented, "E1", collect=False)
+
+    def run():
+        return [(k, *external_e1(oriented, k, collect=False))
+                for k in KS]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"External-memory E1 (n={N}, m={graph.m}, descending)",
+             f"{'k':>4} {'CPU ops':>12} {'triangles':>10} "
+             f"{'loads':>6} {'bytes read':>12}"]
+    for k, result, io in rows:
+        lines.append(f"{k:>4} {result.ops:>12} {result.count:>10} "
+                     f"{io.loads:>6} {io.bytes_read:>12}")
+    emit("external_io", "\n".join(lines))
+
+    for k, result, io in rows:
+        assert result.ops == reference.ops       # CPU cost invariant
+        assert result.count == reference.count   # same triangles
+    bytes_by_k = {k: io.bytes_read for k, __, io in rows}
+    # roughly linear I/O growth: k=16 reads ~8x what k=2 does
+    assert bytes_by_k[16] > 4 * bytes_by_k[2]
+    assert bytes_by_k[1] < bytes_by_k[2]

@@ -1,0 +1,134 @@
+"""Figure-style artifacts: the paper's curves rendered as ASCII charts.
+
+The paper's printed figures are schematic diagrams, so there is nothing
+to regenerate pixel-for-pixel; instead these charts visualize the three
+quantitative stories its analysis tells:
+
+1. limit cost vs alpha per (method, optimal map) -- the finiteness
+   walls at 4/3, 1.5, 2 appear as curves shooting up and vanishing;
+2. the E1/T1 limit ratio vs alpha -- diverging toward alpha = 1.5,
+   flattening for light tails (the decision-rule landscape);
+3. model error vs n under root vs linear truncation (Table 6 vs 9's
+   contrast as a curve).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import DescendingDegree, DiscretePareto, limit_cost
+from repro.core.crossover import limit_cost_ratio
+from repro.distributions import linear_truncation, root_truncation
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.harness import SimulationSpec, simulated_vs_model
+
+from _common import FULL, emit
+
+ALPHAS = np.array([1.40, 1.50, 1.60, 1.75, 2.00, 2.40, 3.00])
+
+
+def test_figure_cost_vs_alpha(benchmark):
+    def run():
+        curves = {"T1+desc": [], "T2+rr": [], "E1+desc": []}
+        for alpha in ALPHAS:
+            dist = DiscretePareto(alpha, 30.0 * (alpha - 1.0))
+            curves["T1+desc"].append(
+                limit_cost(dist, "T1", "descending", eps=1e-4))
+            curves["T2+rr"].append(limit_cost(dist, "T2", "rr", eps=1e-4))
+            curves["E1+desc"].append(
+                limit_cost(dist, "E1", "descending", eps=1e-4))
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    chart = ascii_plot(
+        {k: (ALPHAS, v) for k, v in curves.items()},
+        logy=True, title="Limit cost vs alpha (log y); curves vanish "
+        "left of their finiteness thresholds",
+        xlabel="alpha", ylabel="cost")
+    emit("figure_cost_vs_alpha", chart)
+
+    # finiteness walls: E1 infinite at 1.5, finite at 1.6; T1 finite
+    # everywhere on this grid (threshold 4/3 < 1.4)
+    by_alpha = dict(zip(ALPHAS.tolist(), curves["E1+desc"]))
+    assert math.isinf(by_alpha[1.50])
+    assert math.isfinite(by_alpha[1.60])
+    assert all(map(math.isfinite, curves["T1+desc"]))
+    # cost decreases in alpha once finite (lighter tails, cheaper)
+    t1 = curves["T1+desc"]
+    assert t1[-1] < t1[0]
+
+
+def test_figure_ratio_vs_alpha(benchmark):
+    alphas = [1.55, 1.65, 1.80, 2.00, 2.50, 3.00]
+    ratios = benchmark.pedantic(
+        lambda: [limit_cost_ratio(a) for a in alphas],
+        rounds=1, iterations=1)
+    chart = ascii_plot(
+        {"c(E1,D)/c(T1,D)": (alphas, ratios)},
+        logy=True, title="E1/T1 limit-cost ratio vs alpha "
+        "(diverges toward the 1.5 wall)",
+        xlabel="alpha", ylabel="ratio")
+    emit("figure_ratio_vs_alpha", chart)
+    assert all(np.diff(ratios) < 0)  # strictly decreasing in alpha
+    assert ratios[0] > 3 * ratios[-1]
+
+
+def test_figure_lemma2_convergence(benchmark):
+    """Lemma 2 as a picture: the finite-n q profile hugging J."""
+    from repro.core.outdegree import lemma2_profile
+    from repro.core.spread import SpreadDistribution
+
+    dist = DiscretePareto(1.7, 21.0).truncate(500)
+    spread = SpreadDistribution(dist)
+    us = np.linspace(0.02, 0.98, 25)
+
+    def run():
+        quantiles = np.asarray(dist.quantile(us), dtype=float)
+        return {
+            "J(F^-1(u))": np.asarray(spread.cdf(quantiles), dtype=float),
+            "q at n=1e3": lemma2_profile(dist, 1000, us),
+            "q at n=1e5": lemma2_profile(dist, 100_000, us),
+        }
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    chart = ascii_plot(
+        {k: (us, v) for k, v in curves.items()},
+        title="Lemma 2: q_{ceil(un)}(theta_A) -> J(F^-1(u)) "
+        "(alpha=1.7, t_n=500)",
+        xlabel="u", ylabel="q / J")
+    emit("figure_lemma2", chart)
+    err_small = np.max(np.abs(curves["q at n=1e3"]
+                              - curves["J(F^-1(u))"]))
+    err_large = np.max(np.abs(curves["q at n=1e5"]
+                              - curves["J(F^-1(u))"]))
+    assert err_large <= err_small + 0.02
+    assert err_large < 0.2
+
+
+def test_figure_error_vs_n(benchmark):
+    sizes = [1000, 3000, 10_000] if not FULL else [3000, 10_000, 30_000]
+
+    def run():
+        rng = np.random.default_rng(8)
+        errors = {}
+        for name, trunc in [("root", root_truncation),
+                            ("linear", linear_truncation)]:
+            spec = SimulationSpec(
+                base_dist=DiscretePareto(1.7, 21.0), truncation=trunc,
+                method="T2", permutation=DescendingDegree(),
+                limit_map="descending", n_sequences=3, n_graphs=2)
+            errors[name] = [abs(simulated_vs_model(spec, n, rng)[2])
+                            for n in sizes]
+        return errors
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    chart = ascii_plot(
+        {k: (sizes, [100 * e for e in v]) for k, v in errors.items()},
+        title="|model error| (%) vs n: AMRC (root) vs unconstrained "
+        "(linear), T2+descending, alpha=1.7",
+        xlabel="n", ylabel="|err|%")
+    emit("figure_error_vs_n", chart)
+    # the unconstrained error dominates the AMRC error at every n
+    for root_err, linear_err in zip(errors["root"], errors["linear"]):
+        assert linear_err > root_err

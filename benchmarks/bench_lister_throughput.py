@@ -1,0 +1,61 @@
+"""Implementation throughput of the instrumented listers.
+
+Not a paper table -- an engineering companion to Table 3: how fast this
+library's own T1 (hash probing), E1 (two-pointer scanning), and L1
+(hash lookup) implementations run per operation in this interpreter.
+pytest-benchmark times them on the same oriented graph; the printed
+summary converts to operations/second so the section 2.4 decision rule
+can be instantiated with *this* runtime's constants end to end.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import DescendingDegree, DiscretePareto, orient
+from repro.distributions import root_truncation
+from repro.distributions.sampling import sample_degree_sequence
+from repro.graphs.generators import generate_graph
+from repro.listing import list_triangles
+
+from _common import FULL, emit
+
+N = 10_000 if FULL else 3000
+
+
+@pytest.fixture(scope="module")
+def oriented():
+    rng = np.random.default_rng(3)
+    dist = DiscretePareto(1.7, 21.0).truncate(root_truncation(N))
+    degrees = sample_degree_sequence(dist, N, rng)
+    graph = generate_graph(degrees, rng)
+    return orient(graph, DescendingDegree())
+
+
+@pytest.mark.parametrize("method", ["T1", "T2", "E1", "E4", "L1", "L3"])
+def test_lister_throughput(benchmark, oriented, method):
+    result = benchmark.pedantic(
+        lambda: list_triangles(oriented, method, collect=False),
+        rounds=3 if FULL else 2, iterations=1)
+    assert result.count > 0
+
+
+def test_throughput_summary(benchmark, oriented):
+    def run():
+        rows = []
+        for method in ("T1", "T2", "E1", "E4", "L1", "L3"):
+            start = time.perf_counter()
+            result = list_triangles(oriented, method, collect=False)
+            elapsed = time.perf_counter() - start
+            rows.append((method, result.ops,
+                         result.ops / elapsed if elapsed else 0.0))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"Lister throughput in this runtime (n={N}, descending)",
+             f"{'method':>7} {'ops':>12} {'ops/sec':>14}"]
+    for method, ops, rate in rows:
+        lines.append(f"{method:>7} {ops:>12} {rate:>14.3g}")
+    emit("lister_throughput", "\n".join(lines))
+    assert all(rate > 0 for __, __, rate in rows)

@@ -1,0 +1,61 @@
+"""Section 6: the optimality grid and the cross-method comparison.
+
+Computes the full (method x map) limit-cost grid at alpha = 2.5 (all
+cells finite) via Algorithm 2 and checks Theorems 3-5 and Corollaries
+1-3 on it:
+
+* the argmin of each row is the paper's optimal map;
+* the argmax is its complement (Corollary 3);
+* ``c(T1, xi_D) < c(T2, xi_RR)`` and ``c(E1, xi_D) < c(E4, xi_CRR)``
+  (Theorems 4-5 for increasing r);
+* ``c(E1, xi) = c(T1, xi) + c(T2, xi)`` cell-by-cell (Prop. 2).
+"""
+
+import numpy as np
+import pytest
+
+from repro import DiscretePareto
+from repro.core.limits import limit_cost_table
+from repro.core.optimality import optimal_map, worst_map
+from repro.experiments.tables import format_matrix_table
+
+from _common import emit
+
+DIST = DiscretePareto(alpha=2.5, beta=45.0)
+MAP_NAMES = ("ascending", "descending", "rr", "crr", "uniform")
+METHOD_NAMES = ("T1", "T2", "E1", "E4")
+
+EXPECTED_BEST = {"T1": "descending", "T2": "rr", "E1": "descending",
+                 "E4": "crr"}
+EXPECTED_WORST = {"T1": "ascending", "T2": "crr", "E1": "ascending",
+                  "E4": "rr"}
+
+
+def test_optimality_grid_reproduction(benchmark):
+    table = benchmark.pedantic(
+        lambda: limit_cost_table(DIST, methods=METHOD_NAMES,
+                                 maps=MAP_NAMES, eps=1e-4,
+                                 t_start=1e8, t_max=1e12),
+        rounds=1, iterations=1)
+    matrix = [[table[m][p] for p in MAP_NAMES] for m in METHOD_NAMES]
+    emit("optimality_grid", format_matrix_table(
+        "Limit cost grid, alpha=2.5 (Theorems 3-5)",
+        list(METHOD_NAMES), list(MAP_NAMES), matrix))
+
+    for method in METHOD_NAMES:
+        row = table[method]
+        best = min(row, key=row.get)
+        worst = max(row, key=row.get)
+        assert best == EXPECTED_BEST[method], (method, row)
+        assert worst == EXPECTED_WORST[method], (method, row)
+
+    # Theorem 4 and Theorem 5
+    assert table["T1"]["descending"] < table["T2"]["rr"]
+    assert table["E1"]["descending"] < table["E4"]["crr"]
+    # Prop. 2 at the limit level, every map
+    for p in MAP_NAMES:
+        assert table["E1"][p] == pytest.approx(
+            table["T1"][p] + table["T2"][p], rel=1e-6)
+    # T2 symmetric in the monotone maps
+    assert table["T2"]["ascending"] == pytest.approx(
+        table["T2"]["descending"], rel=1e-9)

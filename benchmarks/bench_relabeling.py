@@ -1,0 +1,71 @@
+"""Section 2.4 / 7.5: what skipping a preprocessing step costs.
+
+The paper's Twitter commentary quantifies partial preprocessing:
+"keeping the graph non-relabeled would have doubled the cost of T1 and
+made it worse than T2. This also would have caused a 29% increase for
+E1 and 100% for E4." We regenerate those penalties on the synthetic
+stand-in, plus the relabel-only overheads (the ``zeta`` binary-search
+taxes).
+"""
+
+import numpy as np
+import pytest
+
+from repro import DescendingDegree, RoundRobin, orient
+from repro.core.costs import total_cost
+from repro.experiments.twitter import twitter_like_graph
+from repro.listing.partial_preprocessing import (
+    orientation_only_cost,
+    orientation_only_penalty,
+    relabel_only_extra_cost,
+    zeta_overhead,
+)
+
+from _common import FULL, emit
+
+N = 100_000 if FULL else 30_000
+
+
+def test_partial_preprocessing_reproduction(benchmark):
+    graph = twitter_like_graph(n=N, alpha=1.7)
+
+    def run():
+        desc = orient(graph, DescendingDegree())
+        rr = orient(graph, RoundRobin())
+        rows = {}
+        for method in ("T1", "T2", "E1", "E4"):
+            full = total_cost(method, desc.out_degrees, desc.in_degrees)
+            no_relabel = orientation_only_cost(
+                method, desc.out_degrees, desc.in_degrees)
+            rows[method] = (full, no_relabel, no_relabel / full)
+        extras = {m: relabel_only_extra_cost(m, desc)
+                  for m in ("T1", "T2", "E1", "E4")}
+        t2_rr = total_cost("T2", rr.out_degrees, rr.in_degrees)
+        return rows, extras, t2_rr, zeta_overhead(desc.degrees)
+
+    rows, extras, t2_rr, zeta = benchmark.pedantic(run, rounds=1,
+                                                   iterations=1)
+    lines = [f"Section 2.4/7.5: partial preprocessing penalties "
+             f"(Twitter-like, n={N}, descending order)",
+             f"{'method':>7} {'full ops':>12} {'no-relabel ops':>15} "
+             f"{'penalty':>8} {'relabel-only extra':>19}"]
+    for method, (full, nr, pen) in rows.items():
+        lines.append(f"{method:>7} {full:>12.3e} {nr:>15.3e} "
+                     f"{pen:>7.2f}x {extras[method]:>19.3e}")
+    lines.append(f"\nzeta = sum log2 d_i = {zeta:.3e}")
+    lines.append(f"T2 + RR (full preprocessing) = {t2_rr:.3e}")
+    emit("relabeling_penalties", "\n".join(lines))
+
+    # the paper's exact claims: T1 doubles, T2 unchanged, E4 doubles
+    assert rows["T1"][2] == pytest.approx(2.0)
+    assert rows["T2"][2] == pytest.approx(1.0)
+    assert rows["E4"][2] == pytest.approx(2.0)
+    # E1 increases by ~29% on Twitter; the exact value depends on the
+    # T1/T2 split, so assert the qualitative band
+    assert 1.1 < rows["E1"][2] < 1.6
+    # non-relabeled T1 loses to (fully preprocessed) T2 + RR
+    assert rows["T1"][1] > t2_rr
+    # relabel-only: T1 free, T2 pays zeta, E4 pays per-edge searches
+    assert extras["T1"] == 0.0
+    assert extras["T2"] == pytest.approx(zeta)
+    assert extras["E4"] > extras["T2"]

@@ -1,0 +1,77 @@
+"""Eqs. (47)-(48): growth rates of cost below the finiteness thresholds.
+
+Under root truncation with alpha below the threshold, the model cost
+grows like ``a_n = n^(2 - 1.5 alpha)`` for T1+descending and
+``b_n = n^(1.5 - alpha)`` for E1+descending. We fit the model's log-log
+slope over a huge-n grid (Algorithm 2 makes n = 1e13 cheap) and compare
+against the predicted exponents, including the paper's two qualitative
+findings: T1 grows strictly slower than E1 for alpha in (1, 1.5), and
+the rates coincide for alpha < 1 -- the latter exercised via the
+truncated model directly since E[D] is infinite there.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DiscretePareto, fast_cost_model
+from repro.core.asymptotics import fit_growth_exponent
+from repro.distributions import root_truncation
+
+from _common import emit
+
+NS = [10**10, 10**11, 10**12, 10**13]
+
+
+def _fitted_slope(alpha: float, method: str) -> float:
+    beta = 30.0 * (alpha - 1.0) if alpha > 1.0 else 6.0
+    dist = DiscretePareto(alpha, beta)
+    costs = [fast_cost_model(dist.truncate(root_truncation(n)), method,
+                             "descending", eps=1e-4) for n in NS]
+    return fit_growth_exponent(NS, costs)
+
+
+def test_scaling_rates_reproduction(benchmark):
+    cases = [
+        ("T1", 1.10, 2 - 1.5 * 1.10),
+        ("T1", 1.20, 2 - 1.5 * 1.20),
+        ("T1", 1.30, 2 - 1.5 * 1.30),
+        ("E1", 1.10, 1.5 - 1.10),
+        ("E1", 1.20, 1.5 - 1.20),
+        ("E1", 1.40, 1.5 - 1.40),
+    ]
+    rows = benchmark.pedantic(
+        lambda: [(m, a, pred, _fitted_slope(a, m))
+                 for m, a, pred in cases],
+        rounds=1, iterations=1)
+    lines = ["Eqs. (47)-(48): fitted vs predicted growth exponents "
+             "(root truncation, model over n = 1e10 .. 1e13)",
+             f"{'method':>7} {'alpha':>6} {'predicted':>10} {'fitted':>8}"]
+    for m, a, pred, fit in rows:
+        lines.append(f"{m:>7} {a:>6.2f} {pred:>10.3f} {fit:>8.3f}")
+    emit("scaling_rates", "\n".join(lines))
+
+    for m, a, pred, fit in rows:
+        assert fit == pytest.approx(pred, abs=0.06), (m, a)
+    # T1 grows strictly slower than E1 for every alpha in (1, 1.5)
+    by = {(m, a): fit for m, a, __, fit in rows}
+    for a in (1.10, 1.20):
+        assert by[("T1", a)] < by[("E1", a)]
+
+
+def test_same_rate_below_alpha_one(benchmark):
+    """For alpha < 1 both methods scale like n^(1 - alpha/2)."""
+    alpha = 0.8
+    dist = DiscretePareto(alpha, 6.0)
+
+    def fit(method):
+        costs = [fast_cost_model(dist.truncate(root_truncation(n)),
+                                 method, "descending", eps=1e-4)
+                 for n in NS]
+        return fit_growth_exponent(NS, costs)
+
+    slopes = benchmark.pedantic(
+        lambda: (fit("T1"), fit("E1")), rounds=1, iterations=1)
+    predicted = 1.0 - alpha / 2.0
+    assert slopes[0] == pytest.approx(predicted, abs=0.06)
+    assert slopes[1] == pytest.approx(predicted, abs=0.06)
+    assert slopes[0] == pytest.approx(slopes[1], abs=0.02)

@@ -1,0 +1,41 @@
+"""Table 8: alpha=2.1 under *linear* truncation (still AMRC: E[D^2]<inf).
+
+Paper's claims: with a finite second moment the graphs are
+asymptotically constrained even at t_n = n-1; errors fall below 1% by
+n = 10^6 (here: stay small at our scale), and the limits are 181.5
+(T1+D) and 384.3 (T2+RR). T2+RR is the slowest-converging cell, with a
+noticeably positive model error at small n.
+"""
+
+import pytest
+
+from repro import DescendingDegree, DiscretePareto, RoundRobin
+from repro.distributions import linear_truncation
+
+from _common import emit, run_sim_table
+
+DIST = DiscretePareto(alpha=2.1, beta=33.0)
+
+CELLS = [
+    ("T1+D", "T1", DescendingDegree(), "descending"),
+    ("T2+RR", "T2", RoundRobin(), "rr"),
+]
+
+
+def test_table08_reproduction(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_sim_table(
+            "table08",
+            "Table 8: cost with alpha=2.1 and linear truncation",
+            DIST, linear_truncation, CELLS),
+        rounds=1, iterations=1)
+    for row in rows[:-1]:
+        t1_cell, t2_cell = row.cells
+        assert abs(t1_cell[2]) < 0.10, row.n  # T1+D modeled tightly
+    # T2+RR converges from above in the paper (error +16.6% at n=1e4,
+    # +0.2% at 1e7); at our scale just require a sane magnitude
+    for row in rows[:-1]:
+        assert abs(row.cells[1][2]) < 0.6, row.n
+    limit_row = rows[-1]
+    assert limit_row.cells[0][1] == pytest.approx(181.5, rel=5e-3)
+    assert limit_row.cells[1][1] == pytest.approx(384.3, rel=5e-3)

@@ -1,0 +1,61 @@
+"""Table 9: the Table 6 setup under linear truncation (unconstrained).
+
+alpha = 1.5 with t_n = n - 1 violates AMRC, so the model (50) is only
+asymptotically right: the paper sees T1+A errors of -10% shrinking as n
+grows, and T1+D errors of ~+15% decaying slowly. Both costs exceed
+their root-truncation counterparts at the same n.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import AscendingDegree, DescendingDegree, DiscretePareto
+from repro.distributions import linear_truncation, root_truncation
+from repro.experiments.harness import SimulationSpec, simulate_cost
+
+from _common import N_GRAPHS, N_SEQUENCES, SIM_SIZES, run_sim_table
+
+DIST = DiscretePareto(alpha=1.5, beta=15.0)
+
+CELLS = [
+    ("T1+A", "T1", AscendingDegree(), "ascending"),
+    ("T1+D", "T1", DescendingDegree(), "descending"),
+]
+
+
+def test_table09_reproduction(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_sim_table(
+            "table09",
+            "Table 9: cost with alpha=1.5 and linear truncation",
+            DIST, linear_truncation, CELLS),
+        rounds=1, iterations=1)
+    for row in rows[:-1]:
+        asc, desc = row.cells
+        # unconstrained degrees: model errors are larger than Table 6's
+        # but bounded; signs match the paper (ascending under-modeled is
+        # not guaranteed at small n, so only magnitude is checked)
+        assert abs(asc[2]) < 0.5
+        assert abs(desc[2]) < 0.5
+        assert desc[0] < asc[0]
+    assert math.isinf(rows[-1].cells[0][1])
+    assert rows[-1].cells[1][1] == pytest.approx(356.3, abs=0.5)
+
+
+def test_linear_exceeds_root_truncation(benchmark):
+    """Paper: 'both permutations now produce larger cost' vs Table 6."""
+    def compare():
+        rng = np.random.default_rng(99)
+        out = {}
+        for name, trunc in [("linear", linear_truncation),
+                            ("root", root_truncation)]:
+            spec = SimulationSpec(
+                base_dist=DIST, truncation=trunc, method="T1",
+                permutation=DescendingDegree(), limit_map="descending",
+                n_sequences=N_SEQUENCES, n_graphs=N_GRAPHS)
+            out[name] = simulate_cost(spec, SIM_SIZES[0], rng)
+        return out
+    out = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert out["linear"] > out["root"]

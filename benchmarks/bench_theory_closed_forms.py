@@ -1,0 +1,60 @@
+"""Closed-form limits (eqs. 22-24, 34-36, 44-45) vs Algorithm 2.
+
+Two completely independent evaluation paths of the same quantities --
+adaptive quadrature against the continuous Pareto spread (19) on one
+side, Algorithm 2 over the discrete law on the other -- agree across an
+alpha grid to within the continuous-vs-discrete gap of Table 5. This
+is the strongest internal-consistency check in the suite: a bug in
+either the spread, the h functions, the maps, or the blockwise model
+would break the match.
+"""
+
+import math
+
+import pytest
+
+from repro import DiscretePareto, limit_cost
+from repro.core.theory import NAMED_LIMITS, named_limit
+from repro.distributions import ContinuousPareto
+
+from _common import emit
+
+ALPHAS = (1.4, 1.7, 2.1, 2.5)
+
+
+def _grid():
+    rows = []
+    for alpha in ALPHAS:
+        beta = 30.0 * (alpha - 1.0)
+        cont = ContinuousPareto(alpha, beta)
+        disc = DiscretePareto(alpha, beta)
+        for method, map_name in sorted(NAMED_LIMITS):
+            closed = named_limit(method, map_name, cont)
+            numeric = limit_cost(disc, method, map_name, eps=1e-4,
+                                 t_max=1e14)
+            rows.append((alpha, method, map_name, closed, numeric))
+    return rows
+
+
+def test_closed_forms_reproduction(benchmark):
+    rows = benchmark.pedantic(_grid, rounds=1, iterations=1)
+    lines = ["Closed-form limits vs Algorithm 2 (beta = 30 (alpha-1))",
+             f"{'alpha':>6} {'method':>7} {'map':>11} "
+             f"{'closed form':>12} {'Algorithm 2':>12}"]
+    for alpha, method, map_name, closed, numeric in rows:
+        c = "inf" if math.isinf(closed) else f"{closed:.2f}"
+        d = "inf" if math.isinf(numeric) else f"{numeric:.2f}"
+        lines.append(f"{alpha:>6.2f} {method:>7} {map_name:>11} "
+                     f"{c:>12} {d:>12}")
+    emit("theory_closed_forms", "\n".join(lines))
+
+    for alpha, method, map_name, closed, numeric in rows:
+        if math.isinf(closed) or math.isinf(numeric):
+            assert math.isinf(closed) == math.isinf(numeric), \
+                (alpha, method, map_name)
+        else:
+            # the continuous model runs slightly high vs the discrete
+            # law (Table 5's 1.5-2%), and the near-threshold cases add
+            # extrapolation error on the discrete side; allow 4%
+            assert closed == pytest.approx(numeric, rel=0.04), \
+                (alpha, method, map_name)

@@ -1,0 +1,64 @@
+"""Ablation: the weight cap ``a`` in ``w(x) = min(x, a)`` (eq. (12)).
+
+Table 11 compares only the two endpoints ``w1(x) = x`` and
+``w2(x) = min(x, sqrt(m))``; this ablation sweeps the cap to show the
+paper's choice is no accident: at alpha = 1.2 under linear truncation,
+the model error of T1+descending is a U-shaped function of ``a`` whose
+basin sits near ``sqrt(m)``, and the identity weight (``a = inf``) is
+the worst cap of all.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DescendingDegree, DiscretePareto
+from repro.core.model import discrete_cost_model
+from repro.core.weights import capped_weight, identity_weight
+from repro.distributions import linear_truncation
+from repro.experiments.harness import SimulationSpec, simulate_cost
+
+from _common import FULL, emit
+
+N = 10_000 if FULL else 3000
+DIST = DiscretePareto(1.2, 6.0)
+
+
+def test_weight_cap_ablation(benchmark):
+    def run():
+        rng = np.random.default_rng(11)
+        t_n = linear_truncation(N)
+        dist_n = DIST.truncate(t_n)
+        ks = np.arange(1, t_n + 1, dtype=float)
+        m_expected = N * float(np.sum(ks * dist_n.pmf(ks))) / 2.0
+        sqrt_m = float(np.sqrt(m_expected))
+        spec = SimulationSpec(
+            base_dist=DIST, truncation=linear_truncation, method="T1",
+            permutation=DescendingDegree(), limit_map="descending",
+            n_sequences=6 if FULL else 4, n_graphs=4 if FULL else 2)
+        sim = simulate_cost(spec, N, rng)
+        caps = [sqrt_m / 8, sqrt_m / 2, sqrt_m, 4 * sqrt_m, 32 * sqrt_m]
+        rows = []
+        for cap in caps:
+            model = discrete_cost_model(dist_n, "T1", "descending",
+                                        capped_weight(cap))
+            rows.append((cap / sqrt_m, model / sim - 1.0))
+        identity_err = discrete_cost_model(
+            dist_n, "T1", "descending", identity_weight) / sim - 1.0
+        return rows, identity_err, sqrt_m
+
+    rows, identity_err, sqrt_m = benchmark.pedantic(run, rounds=1,
+                                                    iterations=1)
+    lines = [f"Weight-cap ablation: T1+descending, alpha=1.2, linear "
+             f"truncation, n={N} (sqrt(m) = {sqrt_m:.0f})",
+             f"{'cap / sqrt(m)':>14} {'model error':>12}"]
+    for ratio, err in rows:
+        lines.append(f"{ratio:>14.3f} {100 * err:>11.1f}%")
+    lines.append(f"{'inf (w1)':>14} {100 * identity_err:>11.1f}%")
+    emit("weight_ablation", "\n".join(lines))
+
+    errors = dict(rows)
+    # the paper's sqrt(m) cap beats the identity weight decisively
+    assert abs(errors[1.0]) < abs(identity_err)
+    # ... and beats caps an order of magnitude away on either side
+    assert abs(errors[1.0]) <= abs(errors[32.0]) + 0.02
+    assert abs(errors[1.0]) <= abs(errors[0.125]) + 0.02

@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+The table reproductions print their output; run pytest with ``-s`` (or
+read ``benchmarks/results/*.txt`` afterwards) to see the regenerated
+tables inline.
+"""
+
+import sys
+import pathlib
+
+# make `from _common import ...` robust regardless of invocation dir
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,74 @@
+"""Asymptotic regimes: finiteness thresholds and scaling rates.
+
+Maps out the paper's section 6.3 landscape:
+
+* for each (method, permutation), the Pareto tail index alpha at which
+  the limiting cost switches from finite to infinite;
+* below the threshold, the growth exponent of cost in n (eqs. 47-48),
+  fitted from the model via Algorithm 2 and compared to theory;
+* the headline: T1 provably beats E1 for all alpha in (4/3, 1.5] --
+  "vertex and edge iterators do NOT share asymptotics" there.
+
+Run:  python examples/asymptotic_regimes.py
+"""
+
+import math
+
+from repro import (
+    DiscretePareto,
+    e1_scaling_rate,
+    fast_cost_model,
+    finiteness_threshold,
+    limit_cost,
+    t1_scaling_rate,
+)
+from repro.core.asymptotics import fit_growth_exponent
+from repro.distributions import root_truncation
+
+PAIRS = [
+    ("T1", "descending"), ("T1", "ascending"),
+    ("T2", "descending"), ("T2", "rr"),
+    ("E1", "descending"), ("E1", "rr"),
+    ("E4", "crr"), ("E4", "descending"),
+]
+
+
+def main():
+    print("finiteness thresholds (limit finite iff alpha > threshold):")
+    for method, map_name in PAIRS:
+        thr = finiteness_threshold(method, map_name)
+        print(f"  {method} + {map_name:<11} alpha > {thr:.4g}")
+
+    print("\nlimits straddling the T1 threshold (4/3), descending order:")
+    for alpha in (1.30, 1.40, 1.50):
+        base = DiscretePareto(alpha, 30.0 * (alpha - 1.0))
+        value = limit_cost(base, "T1", "descending", eps=1e-4)
+        text = "infinite" if math.isinf(value) else f"{value:.1f}"
+        print(f"  alpha = {alpha}: c(T1, xi_D) = {text}")
+
+    print("\nalpha in (4/3, 1.5]: T1 finite, E1 infinite -- the regime")
+    print("where the vertex iterator provably wins:")
+    alpha = 1.45
+    base = DiscretePareto(alpha, 30.0 * (alpha - 1.0))
+    t1 = limit_cost(base, "T1", "descending", eps=1e-4)
+    e1 = limit_cost(base, "E1", "descending", eps=1e-4)
+    print(f"  alpha = {alpha}: c(T1, xi_D) = {t1:.1f}, "
+          f"c(E1, xi_D) = {'infinite' if math.isinf(e1) else e1}")
+
+    print("\ngrowth exponents below the thresholds (root truncation,")
+    print("model fitted over n = 1e10..1e13 vs eqs. (47)-(48)):")
+    ns = [10**10, 10**11, 10**12, 10**13]
+    for method, alpha, rate_fn, pred in [
+            ("T1", 1.2, t1_scaling_rate, 2 - 1.5 * 1.2),
+            ("E1", 1.2, e1_scaling_rate, 1.5 - 1.2)]:
+        base = DiscretePareto(alpha, 30.0 * (alpha - 1.0))
+        costs = [fast_cost_model(base.truncate(root_truncation(n)),
+                                 method, "descending", eps=1e-4)
+                 for n in ns]
+        slope = fit_growth_exponent(ns, costs)
+        print(f"  {method}, alpha={alpha}: fitted n^{slope:.3f}, "
+              f"theory n^{pred:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Application demo: triangle statistics of heavy-tailed networks.
+
+Triangle listing's classic downstream use (the paper's introduction
+cites community detection, sybil detection, motif analysis): compare a
+network's triangle census against the configuration-model null
+expectation. This script builds graphs from three degree laws at the
+same mean degree and reports triangles, clustering, degeneracy, and the
+null-model expectation -- all through the library's public API, with
+the sparse counter doing the heavy lifting.
+
+Run:  python examples/clustering_analysis.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    DiscretePareto,
+    degeneracy,
+    generate_graph,
+    sample_degree_sequence,
+)
+from repro.distributions import (
+    GeometricDegree,
+    PoissonDegree,
+    root_truncation,
+)
+from repro.graphs.analysis import (
+    expected_triangles_configuration_model,
+    global_clustering_coefficient,
+    triangle_count_sparse,
+    wedge_count,
+)
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    rng = np.random.default_rng(13)
+    laws = [
+        ("Poisson(12)", PoissonDegree(12.0)),
+        ("Geometric(1/12)", GeometricDegree(1 / 12)),
+        ("Pareto(1.7), E[D]~30", DiscretePareto.paper_parameterization(1.7)),
+    ]
+    print(f"{'law':>22} {'m':>8} {'triangles':>10} {'CM null':>9} "
+          f"{'clustering':>11} {'degeneracy':>10}")
+    for name, law in laws:
+        dist_n = law.truncate(root_truncation(n))
+        degrees = sample_degree_sequence(dist_n, n, rng)
+        graph = generate_graph(degrees, rng)
+        triangles = triangle_count_sparse(graph)
+        null = expected_triangles_configuration_model(degrees)
+        clustering = 3.0 * triangles / max(wedge_count(graph), 1)
+        print(f"{name:>22} {graph.m:>8} {triangles:>10} {null:>9.0f} "
+              f"{clustering:>11.4f} {degeneracy(graph):>10}")
+
+    print("\nHeavy tails manufacture triangles: at equal (or smaller)")
+    print("edge counts, the Pareto graph's wedge count explodes with")
+    print("E[D^2], dragging the raw triangle count with it -- the")
+    print("'more frequent than in classical random graphs' phenomenon")
+    print("the paper's introduction opens with. The CM-null column")
+    print("shows the generated graphs sit right on the moment formula,")
+    print("so the excess is a degree-sequence effect, not hidden")
+    print("structure from the generator.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Beyond Pareto: plug any degree law into the paper's machinery.
+
+The theory (Theorems 1-5) holds for arbitrary F(x) on the positive
+integers. This example runs the full pipeline on:
+
+* a geometric (light-tailed) law, where every method/permutation has a
+  finite limit and the orientation gains are modest;
+* a Zipf law with the same tail index as the paper's Pareto;
+* an *empirical* law harvested from a generated graph -- the section
+  7.5 workflow of predicting per-method cost from a real graph's degree
+  histogram.
+
+Run:  python examples/custom_distribution.py
+"""
+
+import numpy as np
+
+from repro import (
+    DescendingDegree,
+    DiscretePareto,
+    EmpiricalDegreeDistribution,
+    GeometricDegree,
+    RoundRobin,
+    ZipfDegree,
+    discrete_cost_model,
+    generate_graph,
+    limit_cost,
+    orient,
+    sample_degree_sequence,
+)
+from repro.core.costs import method_cost
+from repro.distributions import root_truncation
+
+
+def limits_table(name, base):
+    print(f"\n{name}: limiting per-node cost")
+    print(f"  {'method':>7} {'descending':>11} {'rr':>9} {'uniform':>9}")
+    for method in ("T1", "T2", "E1"):
+        row = [limit_cost(base, method, m, eps=1e-4, t_max=1e12)
+               for m in ("descending", "rr", "uniform")]
+        cells = " ".join(f"{v:>9.1f}" if np.isfinite(v) else f"{'inf':>9}"
+                         for v in row)
+        print(f"  {method:>7}  {cells}")
+
+
+def main():
+    # 1. light tail: geometric with mean 12
+    limits_table("Geometric(p=1/12)", GeometricDegree(1 / 12))
+
+    # 2. Zipf with tail index 1.7 (s = 2.7)
+    limits_table("Zipf(s=2.7)", ZipfDegree(2.7))
+
+    # 3. empirical: predict a concrete graph's cost from its own
+    # degree histogram -- no Pareto assumption anywhere
+    rng = np.random.default_rng(10)
+    n = 4000
+    source = DiscretePareto.paper_parameterization(1.8)
+    degrees = sample_degree_sequence(source.truncate(root_truncation(n)),
+                                     n, rng)
+    graph = generate_graph(degrees, rng)
+    empirical = EmpiricalDegreeDistribution(graph.degrees)
+
+    print("\nempirical-law prediction vs measurement on one graph "
+          f"(n={n}):")
+    print(f"  {'cell':>12} {'measured':>9} {'predicted':>10}")
+    for method, perm, map_name in [("T1", DescendingDegree(),
+                                    "descending"),
+                                   ("T2", RoundRobin(), "rr")]:
+        oriented = orient(graph, perm)
+        measured = method_cost(oriented, method)
+        predicted = discrete_cost_model(empirical, method, map_name)
+        print(f"  {method + '+' + map_name:>12} {measured:>9.2f} "
+              f"{predicted:>10.2f}")
+    print("\nThe model needs only the degree histogram -- the graph's")
+    print("edge structure never enters, which is the whole point of")
+    print("the paper's distribution-level analysis.")
+
+
+if __name__ == "__main__":
+    main()

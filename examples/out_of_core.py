@@ -1,0 +1,54 @@
+"""Out-of-core triangle listing: partitions, I/O, and the E1/E2 contrast.
+
+Demonstrates the external-memory substrate (the machinery the paper's
+section 8 I/O questions presuppose): plan a partition count from a
+memory budget, run the out-of-core E1 and E2, and compare their I/O
+profiles while confirming their CPU cost is identical to the in-memory
+runs.
+
+Run:  python examples/out_of_core.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import DescendingDegree, list_triangles, orient
+from repro.experiments.twitter import twitter_like_graph
+from repro.external import external_e1, external_e2, plan_partitions
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    rng = np.random.default_rng(8)
+    graph = twitter_like_graph(n=n, alpha=1.7, rng=rng)
+    oriented = orient(graph, DescendingDegree())
+    print(f"graph: n={graph.n}, m={graph.m}")
+
+    graph_bytes = 16 * graph.m  # both CSR directions at 8B per ID
+    budget = graph_bytes // 4   # pretend RAM holds a quarter of it
+    k = plan_partitions(oriented, budget)
+    print(f"graph payload ~{graph_bytes:,} B; budget {budget:,} B "
+          f"-> k = {k} partitions\n")
+
+    reference = list_triangles(oriented, "E1", collect=False)
+    print(f"{'run':>14} {'triangles':>10} {'CPU ops':>12} "
+          f"{'loads':>6} {'bytes read':>12}")
+    print(f"{'in-memory E1':>14} {reference.count:>10} "
+          f"{reference.ops:>12} {'--':>6} {'--':>12}")
+    for name, runner in [("external E1", external_e1),
+                         ("external E2", external_e2)]:
+        result, io = runner(oriented, k, collect=False)
+        print(f"{name:>14} {result.count:>10} {result.ops:>12} "
+              f"{io.loads:>6} {io.bytes_read:>12,}")
+
+    print("\nPartitioning never changes what is compared (CPU ops are")
+    print("identical), only what is re-read: E1 re-loads the small-")
+    print("label candidates, E2 the large-label ones -- under the")
+    print("descending order those ranges carry different edge mass,")
+    print("which is exactly the I/O asymmetry the paper defers to its")
+    print("external-memory companion [17].")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: generate a random graph, orient it, list triangles.
+
+Walks the paper's full pipeline in one page:
+
+1. pick a heavy-tailed degree law and truncate it (section 1.2);
+2. sample an i.i.d. degree sequence and realize it exactly with the
+   residual-degree generator (section 7.2);
+3. relabel + orient with the descending-degree permutation (section 2.1);
+4. list triangles with each fundamental method and compare their
+   measured cost against the discrete model (50).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    DescendingDegree,
+    DiscretePareto,
+    discrete_cost_model,
+    generate_graph,
+    list_triangles,
+    orient,
+    sample_degree_sequence,
+)
+from repro.distributions import root_truncation
+
+
+def main():
+    rng = np.random.default_rng(7)
+    n = 5000
+
+    # 1. Pareto degree law with the paper's parameterization
+    # (alpha = 1.7, beta = 30 (alpha - 1), so E[D] ~ 30.5), truncated
+    # at t_n = sqrt(n) -- the AMRC regime where the model is accurate
+    # even at modest n.
+    alpha = 1.7
+    base = DiscretePareto.paper_parameterization(alpha)
+    dist_n = base.truncate(root_truncation(n))
+    print(f"degree law: {base}, truncated at t_n = {dist_n.t}")
+
+    # 2. degree sequence + exact realization
+    degrees = sample_degree_sequence(dist_n, n, rng)
+    graph = generate_graph(degrees, rng)
+    print(f"graph: {graph} (max degree {graph.degrees.max()})")
+
+    # 3. relabel + orient: hubs get the smallest labels, so edges point
+    # *into* them and out-degrees stay small
+    oriented = orient(graph, DescendingDegree())
+    print(f"max out-degree after orientation: "
+          f"{oriented.out_degrees.max()} "
+          f"(undirected max was {graph.degrees.max()})")
+
+    # 4. list triangles with each fundamental method; all four agree on
+    # the triangles and differ only in cost
+    print(f"\n{'method':>7} {'triangles':>10} {'ops':>12} "
+          f"{'c_n measured':>13} {'c_n model':>10}")
+    for method in ("T1", "T2", "E1", "E4"):
+        result = list_triangles(oriented, method, collect=False)
+        model = discrete_cost_model(dist_n, method, "descending")
+        print(f"{method:>7} {result.count:>10} {result.ops:>12} "
+              f"{result.per_node_cost:>13.2f} {model:>10.2f}")
+
+    print("\nT1 does the fewest operations under descending order --")
+    print("exactly Corollary 1 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,295 @@
+"""Command-line interface: the paper's pipeline from a shell.
+
+Subcommands::
+
+    repro generate   sample a degree sequence and realize a random graph
+    repro triangles  relabel/orient an edge list and list triangles
+    repro model      evaluate the discrete cost model (50) / Algorithm 2
+    repro limit      the n -> inf cost limit of a (method, permutation)
+    repro decide     the SEI-vs-hash decision rule (section 2.4)
+    repro regimes    finiteness classification across tail indices
+
+Examples::
+
+    python -m repro.cli generate --n 10000 --alpha 1.7 --out g.txt
+    python -m repro.cli triangles --graph g.txt --method E1 \
+        --order descending
+    python -m repro.cli model --alpha 1.5 --n 1000000 --method T1 \
+        --map descending
+    python -m repro.cli limit --alpha 1.7 --method T2 --map rr
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+import numpy as np
+
+from repro.core.decision import decide_in_limit, decide_on_graph
+from repro.core.fastmodel import fast_cost_model
+from repro.core.limits import limit_cost
+from repro.core.model import discrete_cost_model
+from repro.distributions.pareto import DiscretePareto
+from repro.distributions.sampling import sample_degree_sequence
+from repro.distributions.truncation import (linear_truncation,
+                                            root_truncation)
+from repro.experiments.regimes import format_regime_table, sweep_regimes
+from repro.graphs.generators import generate_graph
+from repro.graphs.io import load_edge_list, save_edge_list
+from repro.listing.api import list_triangles
+from repro.orientations.degenerate import DegenerateOrder
+from repro.orientations.permutations import (
+    AscendingDegree,
+    ComplementaryRoundRobin,
+    DescendingDegree,
+    RoundRobin,
+    UniformRandom,
+)
+from repro.orientations.relabel import orient
+
+_ORDERS = {
+    "ascending": AscendingDegree,
+    "descending": DescendingDegree,
+    "rr": RoundRobin,
+    "crr": ComplementaryRoundRobin,
+    "uniform": UniformRandom,
+    "degenerate": DegenerateOrder,
+}
+
+#: Maps each CLI order to the matching analytical limit map.
+_ORDER_TO_MAP = {
+    "ascending": "ascending",
+    "descending": "descending",
+    "rr": "rr",
+    "crr": "crr",
+    "uniform": "uniform",
+}
+
+
+def _dist_from_args(args) -> DiscretePareto:
+    beta = args.beta if args.beta is not None else 30.0 * (args.alpha - 1)
+    if beta <= 0:
+        raise SystemExit(
+            "beta must be positive; pass --beta explicitly for alpha <= 1")
+    return DiscretePareto(args.alpha, beta)
+
+
+def _add_dist_args(parser):
+    parser.add_argument("--alpha", type=float, required=True,
+                        help="Pareto tail index")
+    parser.add_argument("--beta", type=float, default=None,
+                        help="Pareto scale (default: 30 (alpha - 1))")
+
+
+def cmd_generate(args) -> int:
+    """``repro generate``: sample, realize, and save a graph."""
+    rng = np.random.default_rng(args.seed)
+    dist = _dist_from_args(args)
+    trunc = (root_truncation if args.truncation == "root"
+             else linear_truncation)
+    dist_n = dist.truncate(trunc(args.n))
+    degrees = sample_degree_sequence(dist_n, args.n, rng)
+    graph = generate_graph(degrees, rng, method=args.generator)
+    save_edge_list(graph, args.out)
+    print(f"wrote {graph.m} edges over {graph.n} nodes to {args.out} "
+          f"(max degree {graph.degrees.max()})")
+    return 0
+
+
+def cmd_triangles(args) -> int:
+    """``repro triangles``: orient an edge list and list/count."""
+    graph = load_edge_list(args.graph)
+    rng = np.random.default_rng(args.seed)
+    perm = _ORDERS[args.order]()
+    oriented = orient(graph, perm, rng=rng)
+    result = list_triangles(oriented, args.method, collect=False)
+    print(f"graph: n={graph.n} m={graph.m}")
+    print(f"method {args.method} under {args.order}: "
+          f"{result.count} triangles, {result.ops} operations, "
+          f"c_n = {result.per_node_cost:.3f}")
+    return 0
+
+
+def cmd_model(args) -> int:
+    """``repro model``: evaluate (50) or Algorithm 2 at one n."""
+    dist = _dist_from_args(args)
+    trunc = (root_truncation if args.truncation == "root"
+             else linear_truncation)
+    dist_n = dist.truncate(trunc(args.n))
+    if args.fast or args.n > 10**7:
+        value = fast_cost_model(dist_n, args.method, args.map,
+                                eps=args.eps)
+        how = f"Algorithm 2 (eps={args.eps})"
+    else:
+        value = discrete_cost_model(dist_n, args.method, args.map)
+        how = "exact model (50)"
+    print(f"E[c_n({args.method}, {args.map})] at n={args.n}, "
+          f"{args.truncation} truncation: {value:.4f}   [{how}]")
+    return 0
+
+
+def cmd_limit(args) -> int:
+    """``repro limit``: the n -> inf cost of a (method, map)."""
+    dist = _dist_from_args(args)
+    value = limit_cost(dist, args.method, args.map, eps=1e-4)
+    text = "infinite" if math.isinf(value) else f"{value:.4f}"
+    print(f"lim n->inf E[c_n({args.method}, {args.map})] = {text}")
+    return 0
+
+
+def cmd_decide(args) -> int:
+    """``repro decide``: SEI vs hash, on a graph or in the limit."""
+    if args.graph:
+        graph = load_edge_list(args.graph)
+        oriented = orient(graph, DescendingDegree())
+        decision = decide_on_graph(oriented, args.speed_ratio)
+        print(f"on {args.graph} (descending orientation):")
+    else:
+        dist = _dist_from_args(args)
+        decision = decide_in_limit(dist, args.speed_ratio)
+        print(f"in the limit for Pareto(alpha={args.alpha}):")
+    ratio = ("inf" if math.isinf(decision.cost_ratio)
+             else f"{decision.cost_ratio:.2f}")
+    print(f"  best hash method: {decision.best_hash_method} "
+          f"(cost {decision.best_hash_cost:.4g})")
+    print(f"  best SEI method:  {decision.best_sei_method} "
+          f"(cost {decision.best_sei_cost:.4g})")
+    print(f"  cost ratio w = {ratio}, speed ratio = "
+          f"{decision.speed_ratio:.1f}")
+    print(f"  winner: {decision.winner}")
+    return 0
+
+
+def cmd_regimes(args) -> int:
+    """``repro regimes``: finiteness classification per alpha."""
+    alphas = [float(a) for a in args.alphas]
+    print(format_regime_table(sweep_regimes(alphas)))
+    return 0
+
+
+def cmd_table(args) -> int:
+    """``repro table``: regenerate the paper's evaluation tables."""
+    from repro.experiments.reproduce import reproduce_all
+    reproduce_all(args.out, full=args.full, tables=args.names or None)
+    return 0
+
+
+def cmd_predict(args) -> int:
+    """``repro predict``: predict + measure cost from a graph file.
+
+    The section 7.5 workflow: fit the empirical degree histogram, run
+    the model (50) for each fundamental method under its optimal
+    ordering, and compare against the measured cost of the same graph.
+    """
+    from repro.distributions.base import EmpiricalDegreeDistribution
+    from repro.experiments.comparison import (compare_methods,
+                                              format_comparison)
+    from repro.pipeline import optimal_order_for
+    graph = load_edge_list(args.graph)
+    positive = graph.degrees[graph.degrees > 0]
+    if positive.size == 0:
+        raise SystemExit("graph has no edges; nothing to predict")
+    empirical = EmpiricalDegreeDistribution(positive)
+    order_to_map = dict(_ORDER_TO_MAP)
+    print(f"graph: n={graph.n} m={graph.m}  (histogram support "
+          f"[{int(positive.min())}, {int(positive.max())}])\n")
+    print(f"{'method':>7} {'order':>11} {'model c_n':>10}")
+    for method in ("T1", "T2", "E1", "E4"):
+        order = optimal_order_for(method)
+        predicted = discrete_cost_model(empirical, method,
+                                        order_to_map[order])
+        print(f"{method:>7} {order:>11} {predicted:>10.2f}")
+    print("\nmeasured (each method under its optimal ordering):")
+    print(format_comparison(compare_methods(graph)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Assemble the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Triangle-listing cost analysis (PODS 2017 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="sample and realize a random graph")
+    _add_dist_args(p)
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--truncation", choices=("linear", "root"),
+                   default="root")
+    p.add_argument("--generator", choices=("residual", "configuration"),
+                   default="residual")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="edge-list output path")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("triangles", help="orient and list triangles")
+    p.add_argument("--graph", required=True, help="edge-list path")
+    p.add_argument("--method", default="E1",
+                   help="T1-T6, E1-E6, or L1-L6")
+    p.add_argument("--order", choices=sorted(_ORDERS),
+                   default="descending")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_triangles)
+
+    p = sub.add_parser("model", help="evaluate the discrete model (50)")
+    _add_dist_args(p)
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--method", default="T1")
+    p.add_argument("--map", default="descending",
+                   choices=sorted(_ORDER_TO_MAP.values()))
+    p.add_argument("--truncation", choices=("linear", "root"),
+                   default="linear")
+    p.add_argument("--fast", action="store_true",
+                   help="force Algorithm 2 (automatic for n > 1e7)")
+    p.add_argument("--eps", type=float, default=1e-5)
+    p.set_defaults(func=cmd_model)
+
+    p = sub.add_parser("limit", help="the n -> inf cost limit")
+    _add_dist_args(p)
+    p.add_argument("--method", default="T1")
+    p.add_argument("--map", default="descending",
+                   choices=sorted(_ORDER_TO_MAP.values()))
+    p.set_defaults(func=cmd_limit)
+
+    p = sub.add_parser("decide", help="SEI vs hash decision rule")
+    p.add_argument("--graph", default=None,
+                   help="edge-list path (omit to decide in the limit)")
+    p.add_argument("--alpha", type=float, default=1.7)
+    p.add_argument("--beta", type=float, default=None)
+    p.add_argument("--speed-ratio", type=float, default=1801.0 / 19.0,
+                   help="SEI-to-hash per-op speed ratio (default: "
+                        "the paper's 94.8)")
+    p.set_defaults(func=cmd_decide)
+
+    p = sub.add_parser("regimes", help="finiteness regimes over alpha")
+    p.add_argument("alphas", nargs="+",
+                   help="tail indices to classify, e.g. 1.3 1.4 1.6 2.1")
+    p.set_defaults(func=cmd_regimes)
+
+    p = sub.add_parser("predict",
+                       help="predict + measure per-method cost from an "
+                            "edge list")
+    p.add_argument("--graph", required=True, help="edge-list path")
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("table",
+                       help="regenerate the paper's evaluation tables")
+    p.add_argument("names", nargs="*",
+                   help="subset, e.g. table05 table12 (default: all)")
+    p.add_argument("--out", default="reproduction")
+    p.add_argument("--full", action="store_true")
+    p.set_defaults(func=cmd_table)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point: parse arguments and dispatch."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Analytical core: cost formulas, models, limits, and optimality.
+
+This subpackage is the paper's mathematics:
+
+* :mod:`repro.core.methods` -- the method registry with each
+  algorithm's ``h`` function (Table 4) and cost decomposition
+  (Tables 1-2).
+* :mod:`repro.core.costs` -- exact per-node cost ``c_n(M, theta)`` from
+  directed degrees, eqs. (7)-(9) and Proposition 2.
+* :mod:`repro.core.weights` -- the weight functions ``w(x)`` of
+  eq. (12): identity and ``min(x, a)``.
+* :mod:`repro.core.spread` -- the spread distribution ``J(x)``,
+  eq. (18), with the Pareto closed form (19).
+* :mod:`repro.core.kernels` -- limiting random maps ``xi(u)`` and
+  measure-preserving kernels (Definitions 2-5, Propositions 6-7).
+* :mod:`repro.core.model` -- the discrete cost model (50) and the
+  continuous model (49).
+* :mod:`repro.core.fastmodel` -- Algorithm 2 (geometric jumping).
+* :mod:`repro.core.limits` -- closed-form limits (20)-(25), (29),
+  (31)-(36), (44)-(45).
+* :mod:`repro.core.asymptotics` -- finiteness thresholds and the
+  scaling rates (46)-(48).
+* :mod:`repro.core.optimality` -- Algorithm 1 and the optimal/worst
+  permutation per method (Theorems 3-5, Corollaries 1-3).
+"""
+
+from repro.core.methods import Method, METHODS, FUNDAMENTAL_METHODS
+from repro.core.costs import (
+    method_cost,
+    per_node_cost,
+    total_cost,
+    cost_t1,
+    cost_t2,
+    cost_t3,
+)
+from repro.core.weights import identity_weight, capped_weight
+from repro.core.spread import SpreadDistribution, pareto_spread_cdf
+from repro.core.kernels import (
+    LimitMap,
+    AscendingMap,
+    DescendingMap,
+    UniformMap,
+    RoundRobinMap,
+    ComplementaryRoundRobinMap,
+    reverse_map,
+    complement_map,
+    empirical_kernel,
+    MAPS,
+)
+from repro.core.model import discrete_cost_model, continuous_cost_model
+from repro.core.fastmodel import fast_cost_model
+from repro.core.limits import (
+    limit_cost,
+    uniform_orientation_cost,
+    no_orientation_cost,
+    expected_h_uniform,
+)
+from repro.core.asymptotics import (
+    finiteness_threshold,
+    is_cost_finite,
+    h_tail_exponent,
+    t1_scaling_rate,
+    e1_scaling_rate,
+)
+from repro.core.optimality import (
+    optimal_map,
+    worst_map,
+    opt_permutation_ranks,
+    cost_functional,
+)
+from repro.core.decision import (
+    MethodDecision,
+    PAPER_SPEED_RATIO,
+    cost_ratio_w,
+    decide_on_graph,
+    decide_in_limit,
+)
+from repro.core.outdegree import (
+    edge_probability,
+    expected_out_degrees,
+    expected_q,
+    unified_cost_from_degrees,
+    lemma2_profile,
+)
+from repro.core.theory import named_limit, NAMED_LIMITS, berry_et_al_limit
+from repro.core.crossover import crossover_alpha, limit_cost_ratio
+from repro.core.order_statistics import (
+    l_statistic,
+    l_statistic_limit,
+    partial_sum,
+    partial_sum_limit,
+    permuted_l_statistic,
+    permuted_l_statistic_limit,
+)
+
+__all__ = [
+    "Method",
+    "METHODS",
+    "FUNDAMENTAL_METHODS",
+    "method_cost",
+    "per_node_cost",
+    "total_cost",
+    "cost_t1",
+    "cost_t2",
+    "cost_t3",
+    "identity_weight",
+    "capped_weight",
+    "SpreadDistribution",
+    "pareto_spread_cdf",
+    "LimitMap",
+    "AscendingMap",
+    "DescendingMap",
+    "UniformMap",
+    "RoundRobinMap",
+    "ComplementaryRoundRobinMap",
+    "reverse_map",
+    "complement_map",
+    "empirical_kernel",
+    "MAPS",
+    "discrete_cost_model",
+    "continuous_cost_model",
+    "fast_cost_model",
+    "limit_cost",
+    "uniform_orientation_cost",
+    "no_orientation_cost",
+    "expected_h_uniform",
+    "finiteness_threshold",
+    "is_cost_finite",
+    "h_tail_exponent",
+    "t1_scaling_rate",
+    "e1_scaling_rate",
+    "optimal_map",
+    "worst_map",
+    "opt_permutation_ranks",
+    "cost_functional",
+    "MethodDecision",
+    "PAPER_SPEED_RATIO",
+    "cost_ratio_w",
+    "decide_on_graph",
+    "decide_in_limit",
+    "edge_probability",
+    "expected_out_degrees",
+    "expected_q",
+    "unified_cost_from_degrees",
+    "lemma2_profile",
+    "named_limit",
+    "NAMED_LIMITS",
+    "berry_et_al_limit",
+    "crossover_alpha",
+    "limit_cost_ratio",
+    "l_statistic",
+    "l_statistic_limit",
+    "partial_sum",
+    "partial_sum_limit",
+    "permuted_l_statistic",
+    "permuted_l_statistic_limit",
+]

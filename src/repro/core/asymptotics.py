@@ -1,0 +1,147 @@
+"""Finiteness thresholds and scaling rates (sections 4.2, 5.3, 6.3).
+
+For Pareto ``F`` with tail index ``alpha``, the limit
+``E[g(D) h(xi(J(D)))]`` is finite iff the integrand's tail decays fast
+enough. Since ``1 - J(x) ~ x^(1 - alpha)`` and ``g(x) ~ x^2``, a method
+whose ``E[h(xi(u))]`` vanishes like ``(1 - u)^k`` as ``u -> 1`` has a
+finite limit iff
+
+    ``alpha > (k + 2) / (k + 1)``.
+
+The exponents the paper derives: ``k = 2`` for T1 + descending
+(threshold 4/3), ``k = 1`` for T2 (any of asc/desc/RR) and E1 +
+descending (threshold 3/2), and ``k = 0`` for everything that leaves
+``h`` bounded away from zero at ``u = 1`` -- ascending T1/E1, RR E1, CRR
+anything, uniform anything (threshold 2). :func:`h_tail_exponent`
+measures ``k`` numerically from the map itself, so the rule extends to
+maps beyond the named five.
+
+When the limit is infinite, eqs. (47)-(48) give the exact growth rates
+under root truncation, implemented by :func:`t1_scaling_rate` and
+:func:`e1_scaling_rate`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.kernels import get_map
+from repro.core.methods import get_method
+
+
+def h_tail_exponent(method, limit_map, probes=(1e-4, 1e-6)) -> int:
+    """The decay order ``k`` of ``E[h(xi(u))]`` as ``u -> 1``.
+
+    Estimated from the log-log slope between two probe points near 1
+    and rounded to the nearest integer in ``{0, 1, 2}`` (the only
+    orders that arise for the quadratic ``h`` family of Table 4).
+    """
+    method = get_method(method) if isinstance(method, str) else method
+    limit_map = get_map(limit_map)
+    eps1, eps2 = probes
+    v1 = float(limit_map.expected_h(method.h, np.float64(1.0 - eps1)))
+    v2 = float(limit_map.expected_h(method.h, np.float64(1.0 - eps2)))
+    if v2 > 1e-14 and v1 > 1e-14:
+        slope = (math.log(v1) - math.log(v2)) / (
+            math.log(eps1) - math.log(eps2))
+    else:
+        slope = 2.0  # vanished below double precision: quadratic decay
+    k = int(round(slope))
+    return max(min(k, 2), 0)
+
+
+def finiteness_threshold(method, limit_map) -> float:
+    """Smallest Pareto ``alpha`` (exclusive) with a finite cost limit.
+
+    ``alpha > (k + 2) / (k + 1)`` with ``k`` from
+    :func:`h_tail_exponent`; reproduces all the thresholds stated in the
+    paper: 4/3 for T1 + descending, 3/2 for T2 (asc/desc/RR) and E1 +
+    descending, 2 for ascending T1/E1, RR E1, CRR, and uniform.
+    """
+    k = h_tail_exponent(method, limit_map)
+    return (k + 2.0) / (k + 1.0)
+
+
+def is_cost_finite(alpha: float, method, limit_map) -> bool:
+    """Does Pareto(``alpha``) give the pair a finite asymptotic cost?"""
+    return alpha > finiteness_threshold(method, limit_map)
+
+
+def spread_tail(alpha: float, x, t_n: float | None = None):
+    """Eq. (46): the tail ``1 - J_n(x)`` of the (truncated) spread.
+
+    For ``alpha > 1`` the untruncated tail is ``x^(1 - alpha)``; the
+    other two regimes require the truncation point ``t_n`` because
+    ``E[D_n] -> inf``.
+    """
+    x = np.asarray(x, dtype=float)
+    if alpha > 1.0:
+        return np.power(x, 1.0 - alpha)
+    if t_n is None:
+        raise ValueError(
+            "alpha <= 1 requires the truncation point t_n (E[D_n] -> inf)")
+    if alpha == 1.0:
+        return 1.0 - np.log(x) / math.log(t_n)
+    return 1.0 - np.power(x, 1.0 - alpha) / t_n ** (1.0 - alpha)
+
+
+def t1_scaling_rate(alpha: float, n) -> np.ndarray:
+    """Eq. (47): ``a_n`` with ``E[c_n(T1, theta_D)|D_n] / a_n -> 1``.
+
+    Root truncation; valid for ``alpha <= 4/3`` where the limit is
+    infinite.
+    """
+    n = np.asarray(n, dtype=float)
+    if alpha > 4.0 / 3.0:
+        raise ValueError(
+            f"T1+descending has a finite limit for alpha={alpha} > 4/3; "
+            "no scaling rate applies")
+    if math.isclose(alpha, 4.0 / 3.0):
+        return np.log(n)
+    if 1.0 < alpha < 4.0 / 3.0:
+        return np.power(n, 2.0 - 1.5 * alpha)
+    if math.isclose(alpha, 1.0):
+        return np.sqrt(n) / np.log(n) ** 2
+    if 0.0 < alpha < 1.0:
+        return np.power(n, 1.0 - alpha / 2.0)
+    raise ValueError(f"alpha must be positive, got {alpha}")
+
+
+def e1_scaling_rate(alpha: float, n) -> np.ndarray:
+    """Eq. (48): ``b_n`` with ``E[c_n(E1, theta_D)|D_n] / b_n -> 1``.
+
+    Root truncation; valid for ``alpha <= 1.5`` where the limit is
+    infinite. Note ``b_n`` dominates ``a_n`` for all ``alpha`` in
+    ``[1, 1.5)`` -- T1 grows strictly slower -- while for
+    ``alpha < 1`` the two rates coincide.
+    """
+    n = np.asarray(n, dtype=float)
+    if alpha > 1.5:
+        raise ValueError(
+            f"E1+descending has a finite limit for alpha={alpha} > 1.5; "
+            "no scaling rate applies")
+    if math.isclose(alpha, 1.5):
+        return np.log(n)
+    if 1.0 < alpha < 1.5:
+        return np.power(n, 1.5 - alpha)
+    if math.isclose(alpha, 1.0):
+        return np.sqrt(n) / np.log(n)
+    if 0.0 < alpha < 1.0:
+        return np.power(n, 1.0 - alpha / 2.0)
+    raise ValueError(f"alpha must be positive, got {alpha}")
+
+
+def fit_growth_exponent(ns, costs) -> float:
+    """Least-squares slope of ``log(cost)`` vs ``log(n)``.
+
+    Utility for the scaling-rate benchmarks: compare the measured
+    exponent against the (47)/(48) predictions.
+    """
+    ns = np.asarray(ns, dtype=float)
+    costs = np.asarray(costs, dtype=float)
+    if ns.size != costs.size or ns.size < 2:
+        raise ValueError("need at least two (n, cost) pairs")
+    slope, __ = np.polyfit(np.log(ns), np.log(costs), 1)
+    return float(slope)

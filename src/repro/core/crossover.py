@@ -1,0 +1,70 @@
+"""Crossover analysis: where SEI stops paying for itself (section 6.3).
+
+For ``alpha > 1.5`` both T1 and E1 have finite limits, and the winner
+depends on the hardware speed ratio (Table 3): SEI wins iff the cost
+ratio ``c(E1, xi_D) / c(T1, xi_D)`` is below it. The ratio *diverges*
+as ``alpha`` decreases to 1.5 (E1's limit blows up first), so for every
+speed ratio ``R`` there is a crossover tail index ``alpha*(R)``: below
+it the hash-based T1 wins even on SIMD hardware, above it SEI does.
+This module locates ``alpha*`` by bisection on the limit-cost ratio --
+turning section 6.3's qualitative discussion into a computable curve.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.decision import PAPER_SPEED_RATIO
+from repro.core.limits import limit_cost
+from repro.distributions.pareto import DiscretePareto
+
+
+def limit_cost_ratio(alpha: float, beta: float | None = None,
+                     **limit_kwargs) -> float:
+    """``c(E1, xi_D) / c(T1, xi_D)`` in the limit for Pareto(alpha).
+
+    ``math.inf`` inside the provable window ``alpha in (4/3, 1.5]``;
+    NaN below 4/3 (both diverge).
+    """
+    if beta is None:
+        beta = 30.0 * (alpha - 1.0)
+    dist = DiscretePareto(alpha, beta)
+    limit_kwargs.setdefault("eps", 1e-4)
+    limit_kwargs.setdefault("t_max", 1e14)
+    t1 = limit_cost(dist, "T1", "descending", **limit_kwargs)
+    e1 = limit_cost(dist, "E1", "descending", **limit_kwargs)
+    if math.isinf(t1) and math.isinf(e1):
+        return float("nan")
+    if math.isinf(e1):
+        return math.inf
+    return e1 / t1
+
+
+def crossover_alpha(speed_ratio: float = PAPER_SPEED_RATIO,
+                    lo: float = 1.501, hi: float = 3.0,
+                    tol: float = 1e-3, **limit_kwargs) -> float:
+    """The tail index where the E1/T1 limit ratio equals ``speed_ratio``.
+
+    Bisection over ``[lo, hi]``; requires the ratio to straddle
+    ``speed_ratio`` on the bracket (it is decreasing in alpha, from
+    infinity at 1.5 down to the light-tail plateau ~2-4). Returns
+    ``lo`` if even ``lo`` is already below the ratio's reach -- i.e.
+    SEI wins everywhere in the bracket.
+    """
+    if speed_ratio <= 0:
+        raise ValueError("speed ratio must be positive")
+    ratio_hi = limit_cost_ratio(hi, **limit_kwargs)
+    if ratio_hi >= speed_ratio:
+        raise ValueError(
+            f"ratio at alpha={hi} is {ratio_hi:.1f} >= speed ratio; "
+            "raise the upper bracket")
+    ratio_lo = limit_cost_ratio(lo, **limit_kwargs)
+    if ratio_lo <= speed_ratio:
+        return lo  # SEI already wins at the bottom of the bracket
+    while hi - lo > tol:
+        mid = (lo + hi) / 2.0
+        if limit_cost_ratio(mid, **limit_kwargs) > speed_ratio:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

@@ -1,0 +1,84 @@
+"""Algorithm 2: fast computation of the discrete model (50).
+
+The exact summation (50) is linear in ``t_n``, which is hopeless for the
+``t_n = 1e14``-scale evaluations the limits require (Table 5 extrapolates
+four months of runtime). Algorithm 2 compresses all summands inside each
+geometric interval ``[i, (1 + eps) i]`` into a single term, cutting the
+runtime to ``O((1 + log(eps * t_n)) / eps)`` while keeping the result
+within a vanishing multiplicative error: the block aggregates the exact
+probability mass ``F_n(i + jump - 1) - F_n(i - 1)`` and evaluates
+``w``, ``g``, ``h`` at the block start.
+
+``eps = 1 / t_n`` degenerates to the exact model; the paper (and our
+default) uses ``eps = 1e-5`` which matched the exact sum to two decimal
+places at every ``n`` in Table 5.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.kernels import get_map
+from repro.core.methods import get_method
+from repro.core.weights import identity_weight
+from repro.distributions.base import DegreeDistribution
+
+
+@lru_cache(maxsize=32)
+def _block_starts(t: int, eps: float) -> np.ndarray:
+    """Block start indices ``i`` with jumps ``ceil(eps * i)``.
+
+    Deterministic given ``(t, eps)``, so cached: the per-block recurrence
+    is the only sequential part of Algorithm 2, everything downstream is
+    vectorized.
+    """
+    starts = []
+    i = 1
+    while i <= t:
+        starts.append(i)
+        i += max(int(math.ceil(eps * i)), 1)
+    return np.asarray(starts, dtype=np.float64)
+
+
+def fast_cost_model(dist: DegreeDistribution, method,
+                    limit_map="descending", weight=identity_weight,
+                    eps: float = 1e-5) -> float:
+    """Algorithm 2 applied to the truncated law ``dist``.
+
+    Same arguments as
+    :func:`~repro.core.model.discrete_cost_model` plus the compression
+    parameter ``eps`` in ``[1/t_n, 1)``. Returns the modeled per-node
+    cost; with ``eps <= 1/t_n`` the result is bit-identical to the exact
+    model.
+    """
+    if not math.isfinite(dist.support_max):
+        raise ValueError(
+            "fast model needs a truncated distribution; call "
+            "dist.truncate(t_n) first")
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    method = get_method(method) if isinstance(method, str) else method
+    limit_map = get_map(limit_map)
+    t = int(dist.support_max)
+
+    starts = _block_starts(t, eps)
+    jumps = np.maximum(np.ceil(eps * starts), 1.0)
+    block_ends = np.minimum(starts + jumps - 1.0, float(t))
+    # exact probability mass per block: F_n(end) - F_n(start - 1),
+    # computed through the survival function -- the CDF saturates at 1
+    # in float64 once the tail drops below ~1e-16 (t_n beyond ~1e11 for
+    # heavy Pareto), whereas sf differences keep full relative precision
+    p = np.maximum(dist.sf(starts - 1.0) - dist.sf(block_ends), 0.0)
+
+    w_vals = weight(starts)
+    e_dn = float(np.sum(w_vals * p))  # pass 1 of Algorithm 2: E[w(D_n)]
+    if e_dn <= 0.0:
+        raise ValueError("degenerate distribution: zero weighted mass")
+    j = np.cumsum(w_vals * p) / e_dn  # running spread J (inclusive)
+    j = np.minimum(j, 1.0)
+    g = starts * starts - starts
+    h_vals = limit_map.expected_h(method.h, j)
+    return float(np.sum(g * h_vals * p))

@@ -1,0 +1,131 @@
+"""Method registry: families, ``h`` functions, and cost decompositions.
+
+Table 4 gives the fundamental ``h(x)`` shapes (with ``q`` the expected
+fraction of a node's neighbors carrying smaller labels):
+
+====== =====================  =============================
+method h(x)                   interpretation
+====== =====================  =============================
+T1     x^2 / 2                out-out pairs
+T2     x (1 - x)              in-out pairs
+E1     x (2 - x) / 2          T1 + T2
+E4     (x^2 + (1-x)^2) / 2    T1 + T3
+====== =====================  =============================
+
+The remaining methods follow from the equivalence classes of Figures
+2/4: T3 mirrors T1 (``h(1-x)``), E2 duplicates E1's cost, E3/E5 mirror
+E1, and E6 duplicates E4. LEI methods carry the cost of the vertex
+iterator in Table 2. Every entry also records its *cost components* --
+which of the three base formulas (7)-(9) sum to its exact cost -- so the
+exact cost evaluator and the stochastic model provably agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+
+def _h_t1(x):
+    x = np.asarray(x, dtype=float)
+    return x * x / 2.0
+
+
+def _h_t2(x):
+    x = np.asarray(x, dtype=float)
+    return x * (1.0 - x)
+
+
+def _h_t3(x):
+    x = np.asarray(x, dtype=float)
+    return (1.0 - x) ** 2 / 2.0
+
+
+def _h_e1(x):
+    x = np.asarray(x, dtype=float)
+    return x * (2.0 - x) / 2.0
+
+
+def _h_e3(x):
+    x = np.asarray(x, dtype=float)
+    return (1.0 - x * x) / 2.0
+
+
+def _h_e4(x):
+    x = np.asarray(x, dtype=float)
+    return (x * x + (1.0 - x) ** 2) / 2.0
+
+
+@dataclass(frozen=True)
+class Method:
+    """A triangle-listing method's analytic signature.
+
+    Attributes
+    ----------
+    name:
+        ``"T1"`` ... ``"L6"``.
+    family:
+        ``"vertex"``, ``"sei"``, or ``"lei"``.
+    h:
+        The Table-4 style function entering the unified model (14).
+    components:
+        Which base costs sum to the exact cost: a subset of
+        ``("T1", "T2", "T3")`` with multiplicity (E1 = T1 + T2, etc.).
+    equivalent_to:
+        The canonical representative of the method's equivalence class
+        under cost (Figures 2 and 4).
+    """
+
+    name: str
+    family: str
+    h: Callable[[np.ndarray], np.ndarray]
+    components: Tuple[str, ...]
+    equivalent_to: str
+
+    def g(self, x):
+        """``g(x) = x^2 - x`` -- shared by all methods (Prop. 4)."""
+        x = np.asarray(x, dtype=float)
+        return x * x - x
+
+    def __repr__(self) -> str:
+        return f"Method({self.name})"
+
+
+METHODS: dict[str, Method] = {
+    # vertex iterators (T4-T6 share cost with T1-T3; Figure 2's classes
+    # under permutation reversal are {T1,T3,T4,T6} and {T2,T5})
+    "T1": Method("T1", "vertex", _h_t1, ("T1",), "T1"),
+    "T2": Method("T2", "vertex", _h_t2, ("T2",), "T2"),
+    "T3": Method("T3", "vertex", _h_t3, ("T3",), "T1"),
+    "T4": Method("T4", "vertex", _h_t1, ("T1",), "T1"),
+    "T5": Method("T5", "vertex", _h_t2, ("T2",), "T2"),
+    "T6": Method("T6", "vertex", _h_t3, ("T3",), "T1"),
+    # scanning edge iterators: components = (local, remote), Table 1
+    "E1": Method("E1", "sei", _h_e1, ("T1", "T2"), "E1"),
+    "E2": Method("E2", "sei", _h_e1, ("T2", "T1"), "E1"),
+    "E3": Method("E3", "sei", _h_e3, ("T3", "T2"), "E1"),
+    "E4": Method("E4", "sei", _h_e4, ("T1", "T3"), "E4"),
+    "E5": Method("E5", "sei", _h_e3, ("T2", "T3"), "E1"),
+    "E6": Method("E6", "sei", _h_e4, ("T3", "T1"), "E4"),
+    # lookup edge iterators: cost = the remote component only, Table 2
+    "L1": Method("L1", "lei", _h_t2, ("T2",), "T2"),
+    "L2": Method("L2", "lei", _h_t1, ("T1",), "T1"),
+    "L3": Method("L3", "lei", _h_t2, ("T2",), "T2"),
+    "L4": Method("L4", "lei", _h_t3, ("T3",), "T1"),
+    "L5": Method("L5", "lei", _h_t3, ("T3",), "T1"),
+    "L6": Method("L6", "lei", _h_t1, ("T1",), "T1"),
+}
+
+#: The four non-isomorphic techniques of Figure 5.
+FUNDAMENTAL_METHODS: tuple[str, ...] = ("T1", "T2", "E1", "E4")
+
+
+def get_method(name: str) -> Method:
+    """Look up a method, accepting lower-case names."""
+    method = METHODS.get(name.upper())
+    if method is None:
+        raise ValueError(
+            f"unknown method {name!r}; choose from {sorted(METHODS)}")
+    return method

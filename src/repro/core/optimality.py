@@ -1,0 +1,124 @@
+"""Optimal permutations and method comparison (section 6).
+
+Lemma 4 rewrites the limit as ``c(M, xi) = E[w(D)] E[r(U) h(xi(U))]``
+with ``r(x) = g(J^{-1}(x)) / w(J^{-1}(x))`` and uniform ``U``. For
+monotonic ``r``, Algorithm 1 sorts the key vector ``(h(1/n), ..., h(1))``
+against ``r``'s monotonicity and reads off the optimal permutation
+(Theorem 3). For triangle listing with ``w(x) = min(x, a)``, the ratio
+``g(x)/w(x)`` is increasing, which pins down (Corollaries 1-2):
+
+* descending optimal for T1 / E1 / E2 (and Chiba-Nishizeki);
+* ascending optimal for T3 / E3 / E5;
+* Round-Robin optimal for T2 (and T5);
+* Complementary Round-Robin optimal for E4 / E6.
+
+Corollary 3: a map is optimal iff its complement is the worst, giving
+:func:`worst_map` for free. :func:`cost_functional` evaluates the
+rewritten objective ``E[r(U) h(xi(U))]`` numerically, which is how the
+tests verify Theorems 3-5 without any graph in sight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels import (
+    AscendingMap,
+    ComplementaryRoundRobinMap,
+    DescendingMap,
+    LimitMap,
+    RoundRobinMap,
+    complement_map,
+    get_map,
+)
+from repro.core.methods import get_method
+
+#: Corollary 1-2 assignments under increasing r(x) (the triangle case).
+_OPTIMAL_WHEN_R_INCREASING = {
+    "T1": DescendingMap(),
+    "T4": DescendingMap(),
+    "T2": RoundRobinMap(),
+    "T5": RoundRobinMap(),
+    "T3": AscendingMap(),
+    "T6": AscendingMap(),
+    "E1": DescendingMap(),
+    "E2": DescendingMap(),
+    "E3": AscendingMap(),
+    "E5": AscendingMap(),
+    "E4": ComplementaryRoundRobinMap(),
+    "E6": ComplementaryRoundRobinMap(),
+    "L1": RoundRobinMap(),
+    "L3": RoundRobinMap(),
+    "L2": DescendingMap(),
+    "L6": DescendingMap(),
+    "L4": AscendingMap(),
+    "L5": AscendingMap(),
+}
+
+
+def optimal_map(method, r_increasing: bool = True) -> LimitMap:
+    """The cost-minimizing limiting map for ``method``.
+
+    With ``r_increasing=False`` the optimum flips to the complement
+    (Theorem 3 sorts the other way); ``r`` constant makes every map
+    equally good (Proposition 8), in which case this still returns the
+    increasing-r choice as a representative.
+    """
+    name = (method if isinstance(method, str) else method.name).upper()
+    best = _OPTIMAL_WHEN_R_INCREASING.get(name)
+    if best is None:
+        raise ValueError(f"unknown method {name!r}")
+    if r_increasing:
+        return best
+    return complement_map(best)
+
+
+def worst_map(method, r_increasing: bool = True) -> LimitMap:
+    """Corollary 3: the complement of the optimal map is the worst."""
+    return complement_map(optimal_map(method, r_increasing))
+
+
+def opt_permutation_ranks(method, n: int,
+                          r_increasing: bool = True) -> np.ndarray:
+    """Algorithm 1's rank-to-label array for a concrete ``n``.
+
+    Thin wrapper over
+    :class:`~repro.orientations.permutations.OptPermutation` using the
+    method's ``h``; exposed here so model-level code can build the OPT
+    order without importing the orientation layer.
+    """
+    from repro.orientations.permutations import OptPermutation
+    method = get_method(method) if isinstance(method, str) else method
+    return OptPermutation(method.h, r_increasing).rank_to_label(n)
+
+
+def cost_functional(r, h, limit_map, grid: int = 20001) -> float:
+    """``E[r(U) h(xi(U))]`` by midpoint quadrature (Lemma 4's form).
+
+    ``r`` and ``h`` must be vectorized callables on ``[0, 1]``. Used to
+    verify Theorem 3 (OPT beats every named map), Theorem 4
+    (``c(T1, xi_D) < c(T2, xi_RR)`` for increasing ``r``) and Theorem 5
+    (``c(E1, xi_D) < c(E4, xi_CRR)``) without constructing any graph.
+    """
+    limit_map = get_map(limit_map)
+    us = (np.arange(grid) + 0.5) / grid
+    return float(np.mean(np.asarray(r(us), dtype=float)
+                         * np.asarray(limit_map.expected_h(h, us),
+                                      dtype=float)))
+
+
+def discrete_functional(r_values, h, theta) -> float:
+    """The finite-``n`` objective ``(1/n) sum r(i/n) h(theta_pos/n)``.
+
+    ``theta`` maps rank ``j`` (0-based) to label; position ``(label+1)/n``
+    enters ``h``. This is the quantity Algorithm 1 minimizes, used in
+    tests to confirm OPT beats random permutations on every monotone
+    ``r`` sample.
+    """
+    r_values = np.asarray(r_values, dtype=float)
+    theta = np.asarray(theta, dtype=np.int64)
+    n = theta.size
+    if r_values.shape != (n,):
+        raise ValueError("r_values must have one entry per rank")
+    positions = (theta + 1.0) / n
+    return float(np.mean(r_values * np.asarray(h(positions), dtype=float)))

@@ -1,0 +1,92 @@
+"""The spread distribution ``J(x)`` of renewal theory (section 4.1).
+
+Lemma 2 shows the asymptotic fraction ``q`` of a node's neighbors with
+smaller labels is governed by
+
+    ``J(x) = (1 / E[w(D)]) * int_0^x w(y) dF(y)``        (18)
+
+the *spread* (size-biased) distribution: the degree of the node hit by a
+uniformly random point thrown onto intervals of lengths ``w(d_i)`` (the
+inspection paradox). For ``w(x) = x`` it is the degree seen by a random
+edge endpoint / random walk. Pareto spread has the closed form (19)
+with a one-degree-heavier tail ``alpha - 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.weights import identity_weight
+from repro.distributions.base import DegreeDistribution
+
+
+class SpreadDistribution:
+    """``J(x)`` for a degree law with finite support (e.g. truncated).
+
+    Precomputes the cumulative weighted mass over the support so that
+    lookups are ``O(log t)``. For the limiting (untruncated) Pareto use
+    :func:`pareto_spread_cdf`, the closed form.
+    """
+
+    def __init__(self, dist: DegreeDistribution, weight=identity_weight):
+        if not math.isfinite(dist.support_max):
+            raise ValueError(
+                "SpreadDistribution needs finite support; truncate the "
+                "distribution first or use a closed form")
+        self.dist = dist
+        self.weight = weight
+        t = int(dist.support_max)
+        self._support = np.arange(dist.support_min, t + 1, dtype=np.int64)
+        pmf = dist.pmf(self._support.astype(float))
+        self._cum = np.cumsum(weight(self._support.astype(float)) * pmf)
+        self._total = float(self._cum[-1])
+        if self._total <= 0.0:
+            raise ValueError("weighted mass is zero")
+
+    @property
+    def mean_weight(self) -> float:
+        """``E[w(D)]`` over the (truncated) law."""
+        return self._total
+
+    def cdf(self, x):
+        """``J(x) = P(S <= x)`` for the spread variable ``S``."""
+        x = np.asarray(x, dtype=float)
+        idx = np.searchsorted(self._support, np.floor(x), side="right")
+        cum = np.concatenate([[0.0], self._cum])
+        result = cum[idx] / self._total
+        return float(result) if result.ndim == 0 else result
+
+    def pmf(self, k):
+        """``P(S = k) = w(k) P(D = k) / E[w(D)]``."""
+        k = np.asarray(k, dtype=float)
+        return self.weight(k) * self.dist.pmf(k) / self._total
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw spread-distributed degrees (size-biased sampling)."""
+        u = rng.random(size) * self._total
+        idx = np.searchsorted(self._cum, u, side="left")
+        idx = np.clip(idx, 0, self._support.size - 1)
+        return self._support[idx].copy()
+
+    def __repr__(self) -> str:
+        return (f"SpreadDistribution({self.dist!r}, "
+                f"weight={getattr(self.weight, 'name', self.weight)})")
+
+
+def pareto_spread_cdf(alpha: float, beta: float, x):
+    """Eq. (19): the spread CDF of continuous Pareto with ``w(x) = x``.
+
+    ``J(x) = 1 - (beta + alpha x) / beta * (1 + x / beta)^(-alpha)``.
+    Valid for ``alpha > 1`` (finite ``E[D]``); its tail decays like
+    ``x^(1 - alpha)``, one degree heavier than ``F`` itself.
+    """
+    if alpha <= 1.0:
+        raise ValueError(
+            f"spread requires finite E[D], i.e. alpha > 1; got {alpha}")
+    x = np.asarray(x, dtype=float)
+    val = (1.0 - (beta + alpha * x) / beta
+           * np.power(1.0 + x / beta, -alpha))
+    result = np.where(x < 0.0, 0.0, val)
+    return float(result) if result.ndim == 0 else result

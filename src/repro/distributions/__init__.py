@@ -1,0 +1,58 @@
+"""Degree distributions, truncation, and degree-sequence sampling.
+
+The paper (section 1.2) starts from a CDF ``F(x)`` on the integers in
+``[1, inf)``, a monotonically increasing truncation function ``t_n``, and the
+truncated distribution ``F_n(x) = F(x) / F(t_n)`` restricted to ``[1, t_n]``.
+An i.i.d. degree sequence ``D_n = (D_n1, ..., D_nn)`` drawn from ``F_n`` is
+then realized by a random graph ``G_n``.
+
+This subpackage provides:
+
+* :class:`DegreeDistribution` -- the abstract integer-valued degree law.
+* :class:`DiscretePareto` -- the paper's workhorse
+  ``F(x) = 1 - (1 + floor(x)/beta)^(-alpha)`` (section 7.1).
+* :class:`ContinuousPareto` -- ``F*(x) = 1 - (1 + x/beta)^(-alpha)`` used by
+  the continuous model, eq. (49).
+* :class:`TruncatedDistribution` -- ``F_n(x) = F(x)/F(t_n)`` on ``[1, t_n]``.
+* :func:`linear_truncation` / :func:`root_truncation` -- ``t_n = n - 1`` and
+  ``t_n = sqrt(n)`` (Definition 1 and section 3.1).
+* :func:`sample_degree_sequence` -- exact inverse-CDF sampling of ``D_n``.
+* Extra laws for experimentation beyond the paper:
+  :class:`GeometricDegree`, :class:`ZipfDegree`, and
+  :class:`EmpiricalDegreeDistribution`.
+"""
+
+from repro.distributions.base import (
+    DegreeDistribution,
+    TruncatedDistribution,
+    EmpiricalDegreeDistribution,
+)
+from repro.distributions.pareto import DiscretePareto, ContinuousPareto
+from repro.distributions.extra import (
+    GeometricDegree,
+    ZipfDegree,
+    PoissonDegree,
+    LogNormalDegree,
+)
+from repro.distributions.truncation import (
+    linear_truncation,
+    root_truncation,
+    power_truncation,
+)
+from repro.distributions.sampling import sample_degree_sequence
+
+__all__ = [
+    "DegreeDistribution",
+    "TruncatedDistribution",
+    "EmpiricalDegreeDistribution",
+    "DiscretePareto",
+    "ContinuousPareto",
+    "GeometricDegree",
+    "ZipfDegree",
+    "PoissonDegree",
+    "LogNormalDegree",
+    "linear_truncation",
+    "root_truncation",
+    "power_truncation",
+    "sample_degree_sequence",
+]

@@ -1,0 +1,56 @@
+"""Truncation schedules ``t_n`` (paper sections 1.2 and 3.1).
+
+The paper builds ``F_n(x) = F(x)/F(t_n)`` with a monotonically increasing
+``t_n -> inf``, and studies two named schedules:
+
+* **linear** truncation, ``t_n = n - 1`` -- the largest value for which the
+  degree sequence can still be graphic; produces *unconstrained* graphs
+  whenever ``F`` is heavy enough (Definition 1 can fail).
+* **root** truncation, ``t_n = sqrt(n)`` -- deterministically enforces
+  ``L_n <= sqrt(n)`` so the edge-probability model (10) stays a
+  probability; these graphs are AMRC by construction.
+
+A generic ``t_n = n^c`` power schedule is included for experiments around
+Proposition 3 (``P(L_n > n^c) -> 0`` iff ``E[D^(1/c)] < inf``).
+"""
+
+from __future__ import annotations
+
+
+def linear_truncation(n: int) -> int:
+    """``t_n = n - 1`` (the graphic upper bound for simple graphs)."""
+    if n < 2:
+        raise ValueError(f"need n >= 2 for linear truncation, got {n}")
+    return n - 1
+
+
+def root_truncation(n: int) -> int:
+    """``t_n = floor(sqrt(n))``; guarantees ``L_n <= sqrt(n)`` (AMRC)."""
+    if n < 1:
+        raise ValueError(f"need n >= 1 for root truncation, got {n}")
+    t = int(n**0.5)
+    # guard against floating-point undershoot, e.g. isqrt semantics
+    while (t + 1) * (t + 1) <= n:
+        t += 1
+    while t * t > n:
+        t -= 1
+    return max(t, 1)
+
+
+def power_truncation(c: float):
+    """Return the schedule ``t_n = floor(n^c)`` for ``0 < c <= 1``.
+
+    ``c = 1/2`` recovers :func:`root_truncation`; ``c = 1`` is close to
+    (but not identical with) :func:`linear_truncation`, which subtracts
+    one to respect the simple-graph bound ``t_n <= n - 1``.
+    """
+    if not 0.0 < c <= 1.0:
+        raise ValueError(f"power must be in (0, 1], got {c}")
+
+    def schedule(n: int) -> int:
+        if n < 1:
+            raise ValueError(f"need n >= 1, got {n}")
+        return max(min(int(n**c), n - 1 if n > 1 else 1), 1)
+
+    schedule.__name__ = f"power_truncation_{c}"
+    return schedule

@@ -1,0 +1,69 @@
+"""Evaluation harness reproducing section 7's tables.
+
+* :mod:`repro.experiments.harness` -- Monte-Carlo simulation of
+  ``E[c_n(M, theta_n)]`` over random degree sequences and random graphs,
+  compared against the discrete model (50).
+* :mod:`repro.experiments.tables` -- row assembly and paper-style
+  formatting of the comparison tables.
+* :mod:`repro.experiments.twitter` -- the section 7.5 case study on a
+  synthetic heavy-tailed stand-in for the Twitter graph.
+* :mod:`repro.experiments.speed` -- the Table 3 substitution: measured
+  hash-probe vs. scanning-intersection throughput in this runtime.
+"""
+
+from repro.experiments.harness import (
+    SimulationSpec,
+    simulate_cost,
+    simulated_vs_model,
+    sweep_n,
+)
+from repro.experiments.tables import (
+    ComparisonRow,
+    format_comparison_table,
+    format_matrix_table,
+)
+from repro.experiments.twitter import (
+    twitter_like_graph,
+    cost_matrix,
+    analyze_cost_matrix,
+)
+from repro.experiments.speed import measure_primitive_speeds
+from repro.experiments.regimes import (
+    classify_alpha,
+    sweep_regimes,
+    regime_of,
+    provable_t1_window,
+    format_regime_table,
+)
+from repro.experiments.statistics import CellEstimate, estimate_cell
+from repro.experiments.parallel import simulate_cost_parallel
+from repro.experiments.comparison import (
+    MethodProfile,
+    compare_methods,
+    format_comparison,
+)
+
+__all__ = [
+    "SimulationSpec",
+    "simulate_cost",
+    "simulated_vs_model",
+    "sweep_n",
+    "ComparisonRow",
+    "format_comparison_table",
+    "format_matrix_table",
+    "twitter_like_graph",
+    "cost_matrix",
+    "analyze_cost_matrix",
+    "measure_primitive_speeds",
+    "classify_alpha",
+    "sweep_regimes",
+    "regime_of",
+    "provable_t1_window",
+    "format_regime_table",
+    "CellEstimate",
+    "estimate_cell",
+    "simulate_cost_parallel",
+    "MethodProfile",
+    "compare_methods",
+    "format_comparison",
+]

@@ -1,0 +1,87 @@
+"""Dependency-free ASCII line charts for the figure-style artifacts.
+
+The paper's figures are diagrams, not data plots, but several of its
+results are naturally curves (cost vs alpha, error vs n, the E1/T1
+ratio exploding toward the 1.5 threshold). With no plotting stack
+available offline, this renders small multiples as monospace charts --
+good enough to eyeball shapes in a terminal or a results file.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Marker characters cycled across series.
+MARKERS = "ox+*#@"
+
+
+def ascii_plot(series: dict, width: int = 68, height: int = 18,
+               logy: bool = False, title: str = "",
+               xlabel: str = "", ylabel: str = "") -> str:
+    """Render ``{label: (xs, ys)}`` as an ASCII chart.
+
+    Non-finite y values are dropped per point (an infinite limit simply
+    leaves the chart). With ``logy`` the y axis is log10 (requires
+    positive data).
+    """
+    cleaned = {}
+    for label, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        mask = np.isfinite(xs) & np.isfinite(ys)
+        if logy:
+            mask &= ys > 0
+        if mask.any():
+            cleaned[label] = (xs[mask],
+                              np.log10(ys[mask]) if logy else ys[mask])
+    if not cleaned:
+        return f"{title}\n(no finite data to plot)"
+
+    all_x = np.concatenate([xs for xs, __ in cleaned.values()])
+    all_y = np.concatenate([ys for __, ys in cleaned.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    for idx, (label, (xs, ys)) in enumerate(sorted(cleaned.items())):
+        marker = MARKERS[idx % len(MARKERS)]
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    y_top = f"{10**y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    y_bot = f"{10**y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    gutter = max(len(y_top), len(y_bot), len(ylabel)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            left = y_top.rjust(gutter)
+        elif r == height - 1:
+            left = y_bot.rjust(gutter)
+        elif r == height // 2 and ylabel:
+            left = ylabel.rjust(gutter)
+        else:
+            left = " " * gutter
+        lines.append(f"{left}|{''.join(row)}")
+    axis = " " * gutter + "+" + "-" * width
+    lines.append(axis)
+    x_left = f"{x_lo:.3g}"
+    x_right = f"{x_hi:.3g}"
+    pad = width - len(x_left) - len(x_right)
+    center = xlabel.center(max(pad, len(xlabel)))
+    lines.append(" " * (gutter + 1) + x_left
+                 + center[:max(pad, 0)] + x_right)
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} = {label}"
+        for i, label in enumerate(sorted(cleaned)))
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""The four-regime landscape of vertex/edge iterators (sections 4.2, 6.3).
+
+Section 4.2: "vertex iterator exhibits at least four regimes of
+operation, i.e., alpha <= 4/3, alpha in (4/3, 1.5], alpha in (1.5, 2],
+and alpha > 2". This module sweeps the tail index and classifies each
+(method, permutation) pair, producing the summary the paper describes in
+prose as an explicit table -- including the headline regime
+``alpha in (4/3, 1.5]`` where T1 is provably faster than E1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.asymptotics import finiteness_threshold, is_cost_finite
+
+#: The boundaries separating the four regimes of section 4.2.
+REGIME_BOUNDARIES = (4.0 / 3.0, 1.5, 2.0)
+
+#: The grid of (method, map) pairs the paper analyzes.
+DEFAULT_PAIRS = (
+    ("T1", "descending"),
+    ("T1", "ascending"),
+    ("T2", "rr"),
+    ("T2", "descending"),
+    ("E1", "descending"),
+    ("E1", "rr"),
+    ("E4", "crr"),
+)
+
+
+@dataclass(frozen=True)
+class RegimeRow:
+    """Finiteness classification of one tail index."""
+
+    alpha: float
+    finite_pairs: tuple
+    infinite_pairs: tuple
+
+    @property
+    def t1_beats_e1_provably(self) -> bool:
+        """The section 6.3 regime: T1 finite while E1 diverges."""
+        return (("T1", "descending") in self.finite_pairs
+                and ("E1", "descending") in self.infinite_pairs)
+
+
+def classify_alpha(alpha: float, pairs=DEFAULT_PAIRS) -> RegimeRow:
+    """Which (method, map) pairs have finite limits at this alpha?"""
+    finite = tuple(p for p in pairs if is_cost_finite(alpha, *p))
+    infinite = tuple(p for p in pairs if p not in finite)
+    return RegimeRow(alpha, finite, infinite)
+
+
+def regime_of(alpha: float) -> int:
+    """Regime index 1-4 per section 4.2 (1 = everything diverges)."""
+    for idx, boundary in enumerate(REGIME_BOUNDARIES):
+        if alpha <= boundary:
+            return idx + 1
+    return len(REGIME_BOUNDARIES) + 1
+
+
+def sweep_regimes(alphas, pairs=DEFAULT_PAIRS) -> list[RegimeRow]:
+    """Classify a grid of tail indices."""
+    return [classify_alpha(a, pairs) for a in alphas]
+
+
+def format_regime_table(rows) -> str:
+    """Render the sweep as a compact finite/infinite matrix."""
+    pairs = sorted({p for row in rows
+                    for p in row.finite_pairs + row.infinite_pairs})
+    header = f"{'alpha':>6} " + " ".join(
+        f"{m}+{x[:4]:<4}" for m, x in pairs)
+    lines = ["Finiteness regimes (F = finite limit, - = divergent)",
+             header]
+    for row in rows:
+        cells = " ".join(
+            f"{'F' if p in row.finite_pairs else '-':>7} " for p in pairs)
+        lines.append(f"{row.alpha:>6.3f} {cells}")
+    return "\n".join(lines)
+
+
+def provable_t1_window() -> tuple[float, float]:
+    """The (open, closed] alpha interval where T1 provably beats E1.
+
+    Derived from the thresholds rather than hardcoded, so it stays
+    correct if the threshold machinery changes: it is
+    ``(threshold(T1, desc), threshold(E1, desc)]`` = ``(4/3, 3/2]``.
+    """
+    return (finiteness_threshold("T1", "descending"),
+            finiteness_threshold("E1", "descending"))

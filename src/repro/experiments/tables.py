@@ -1,0 +1,108 @@
+"""Paper-style table assembly and text rendering.
+
+Tables 6-11 share one layout: rows indexed by ``n``, and per
+(method, permutation) column group the triple ``sim | model | error``.
+Table 12 is a method x permutation matrix of total operation counts.
+These helpers render both shapes as aligned monospace text, the way the
+benchmark scripts print them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ComparisonRow:
+    """One ``n`` row of a sim-vs-model table (possibly several cells)."""
+
+    n: int | str
+    cells: list  # list of (sim, model, error) triples; entries may be None
+
+
+def _fmt_value(x) -> str:
+    if x is None:
+        return "--"
+    if isinstance(x, str):
+        return x
+    if x != x:  # NaN
+        return "--"
+    if x == float("inf"):
+        return "inf"
+    if abs(x) >= 1000:
+        return f"{x:,.1f}"
+    return f"{x:.1f}" if abs(x) >= 10 else f"{x:.2f}"
+
+
+def _fmt_error(e) -> str:
+    if e is None or e != e:
+        return "--"
+    return f"{100.0 * e:+.1f}%"
+
+
+def format_comparison_table(title: str, group_names: list[str],
+                            rows: list[ComparisonRow]) -> str:
+    """Render a Tables-6-to-10 style sim/model/error table."""
+    header_cells = ["n"]
+    for name in group_names:
+        header_cells += [f"{name} sim", f"{name} model", f"{name} err"]
+    body = []
+    for row in rows:
+        line = [str(row.n)]
+        for cell in row.cells:
+            if cell is None:
+                line += ["--", "--", "--"]
+            else:
+                sim, model, error = cell
+                line += [_fmt_value(sim), _fmt_value(model),
+                         _fmt_error(error)]
+        body.append(line)
+    return _render(title, [header_cells] + body)
+
+
+def format_matrix_table(title: str, row_names: list[str],
+                        col_names: list[str], values,
+                        highlight_min: bool = True) -> str:
+    """Render a Table-12 style matrix (methods x permutations).
+
+    With ``highlight_min`` the smallest entry of each row is wrapped in
+    ``*...*`` -- the paper highlights the optimal permutation in gray.
+    """
+    header = [""] + list(col_names)
+    body = []
+    for name, row in zip(row_names, values):
+        row = list(row)
+        finite = [v for v in row if v == v and v != float("inf")]
+        best = min(finite) if finite and highlight_min else None
+        cells = [name]
+        for v in row:
+            text = _fmt_big(v)
+            if best is not None and v == best:
+                text = f"*{text}*"
+            cells.append(text)
+        body.append(cells)
+    return _render(title, [header] + body)
+
+
+def _fmt_big(x) -> str:
+    """Human units like the paper's 150B / 123T entries."""
+    if x is None or x != x:
+        return "--"
+    if x == float("inf"):
+        return "inf"
+    for unit, scale in (("T", 1e12), ("B", 1e9), ("M", 1e6), ("K", 1e3)):
+        if abs(x) >= scale:
+            return f"{x / scale:.3g}{unit}"
+    return f"{x:.3g}"
+
+
+def _render(title: str, table: list[list[str]]) -> str:
+    widths = [max(len(row[c]) for row in table)
+              for c in range(len(table[0]))]
+    lines = [title, "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    for i, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(w)
+                               for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""External-memory triangle listing (the paper's forward pointer).
+
+Sections 2.3 and 8 point at [17] ("On Efficient External-Memory
+Triangle Listing"): when ``G`` does not fit in RAM, the oriented graph
+is split into vertex partitions, partition pairs are co-loaded, and the
+choice between E1 and E2 "requires modeling I/O complexity under a
+specific graph-partitioning scheme". The paper leaves that modeling to
+future work; this subpackage implements the substrate it presupposes --
+a label-range partitioner and an out-of-core E1 with exact I/O
+accounting -- so the CPU-cost results of the main paper can be combined
+with measured I/O volume.
+
+The partitioning scheme is the natural one for acyclic orientations:
+``k`` contiguous label ranges; every triangle ``x < y < z`` has its
+three corners in at most three ranges, and streaming each source
+partition against the (smaller-labeled) candidate partitions visits
+every directed edge a bounded number of times.
+"""
+
+from repro.external.partition import (
+    LabelRangePartitioner,
+    Partition,
+    plan_partitions,
+)
+from repro.external.ooc_listing import (
+    IOCounter,
+    external_e1,
+    external_e2,
+)
+
+__all__ = [
+    "LabelRangePartitioner",
+    "Partition",
+    "IOCounter",
+    "external_e1",
+    "external_e2",
+    "plan_partitions",
+]

@@ -1,0 +1,63 @@
+"""Degree-sequence utilities: graphicality, order statistics, histograms.
+
+Section 3.1 requires degree sequences to be *graphic* (realizable by a
+simple graph), which the Erdos-Gallai theorem characterizes, and works
+with the ascending order statistics ``A_n`` of the sampled sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def erdos_gallai_graphical(degrees) -> bool:
+    """Erdos-Gallai test: can ``degrees`` be realized by a simple graph?
+
+    A non-increasing sequence ``d_1 >= ... >= d_n`` of non-negative
+    integers is graphic iff the sum is even and for every ``k``::
+
+        sum_{i<=k} d_i  <=  k (k - 1) + sum_{i>k} min(d_i, k)
+
+    Runs in ``O(n log n)`` (dominated by the sort) using the standard
+    prefix-sum formulation.
+    """
+    d = np.sort(np.asarray(degrees, dtype=np.int64))[::-1]
+    n = d.size
+    if n == 0:
+        return True
+    if d[0] < 0:
+        return False
+    if d[0] >= n:
+        return False
+    total = int(d.sum())
+    if total % 2 == 1:
+        return False
+    prefix = np.cumsum(d)
+    ascending = d[::-1]
+    # For the right-hand side we need sum_{i>k} min(d_i, k). Since d is
+    # sorted descending, min(d_i, k) == k for i <= m(k) and == d_i after,
+    # where m(k) = #\{i > k : d_i > k\}.
+    for k in range(1, n + 1):
+        lhs = int(prefix[k - 1])
+        # count entries beyond position k that still exceed k
+        cutoff = n - int(np.searchsorted(ascending, k, side="right"))
+        m = max(cutoff - k, 0)
+        tail_sum = int(prefix[-1] - prefix[k + m - 1]) if k + m <= n else 0
+        rhs = k * (k - 1) + m * k + tail_sum
+        if lhs > rhs:
+            return False
+        if d[k - 1] <= k:
+            # remaining inequalities hold automatically once d_k <= k
+            break
+    return True
+
+
+def ascending_order_statistics(degrees) -> np.ndarray:
+    """The paper's ``A_n``: the degree sequence sorted ascending."""
+    return np.sort(np.asarray(degrees, dtype=np.int64))
+
+
+def degree_histogram(degrees) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(values, counts)`` of the degree multiset."""
+    return np.unique(np.asarray(degrees, dtype=np.int64),
+                     return_counts=True)

@@ -1,0 +1,131 @@
+"""The oriented, relabeled digraph ``G(theta_n)`` of section 2.1.
+
+The paper's three-step preprocessing is: (1) sort nodes by a global order
+and assign IDs ``1..n`` (*relabeling*); (2) direct each edge from the
+larger new ID to the smaller (*orientation*), so that out-neighbors of
+``y`` have smaller labels and in-neighbors have larger; (3) list
+triangles ``x < y < z`` in the directed graph.
+
+:class:`OrientedGraph` is the output of steps (1) + (2): node IDs *are*
+labels (0-based here), ``out[i]`` holds the smaller-labeled neighbors and
+``in[i]`` the larger-labeled ones, both sorted ascending. The
+acyclicity of the orientation is immediate: every edge decreases the
+label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+class OrientedGraph:
+    """Relabeled acyclic orientation of a simple undirected graph.
+
+    Parameters
+    ----------
+    graph:
+        The undirected source graph.
+    labels:
+        Permutation array of shape ``(n,)``: ``labels[v]`` is the new ID
+        of original vertex ``v``. The orientation directs each edge from
+        the endpoint with the larger label to the one with the smaller.
+
+    Attributes
+    ----------
+    out_degrees:
+        ``X_i(theta)`` -- out-degree per (relabeled) node.
+    in_degrees:
+        ``Y_i(theta)`` -- in-degree per node.
+    degrees:
+        ``d_i(theta) = X_i + Y_i``, the total degree in label order.
+    """
+
+    def __init__(self, graph: Graph, labels):
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (graph.n,):
+            raise ValueError(
+                f"labels must have shape ({graph.n},), got {labels.shape}")
+        if np.unique(labels).size != graph.n or (
+                graph.n and (labels.min() != 0 or labels.max() != graph.n - 1)):
+            raise ValueError("labels must be a permutation of 0..n-1")
+        self.graph = graph
+        self.labels = labels
+        self.n = graph.n
+        self.m = graph.m
+
+        edges = graph.edges
+        a = labels[edges[:, 0]] if self.m else np.empty(0, dtype=np.int64)
+        b = labels[edges[:, 1]] if self.m else np.empty(0, dtype=np.int64)
+        src = np.maximum(a, b)  # larger label: the edge's tail
+        dst = np.minimum(a, b)  # smaller label: the edge's head
+
+        # out-CSR: for node i, sorted list of out-neighbors (labels < i)
+        order = np.lexsort((dst, src))
+        self._out_indices = dst[order]
+        out_counts = np.bincount(src, minlength=self.n)
+        self._out_indptr = np.concatenate(
+            [[0], np.cumsum(out_counts)]).astype(np.int64)
+
+        # in-CSR: for node i, sorted list of in-neighbors (labels > i)
+        order = np.lexsort((src, dst))
+        self._in_indices = src[order]
+        in_counts = np.bincount(dst, minlength=self.n)
+        self._in_indptr = np.concatenate(
+            [[0], np.cumsum(in_counts)]).astype(np.int64)
+
+        self.out_degrees = out_counts.astype(np.int64)
+        self.in_degrees = in_counts.astype(np.int64)
+        self.degrees = self.out_degrees + self.in_degrees
+        self._edge_keys: set | None = None
+
+    def out_neighbors(self, i: int) -> np.ndarray:
+        """``N+(i)``: neighbors with smaller labels, sorted ascending."""
+        return self._out_indices[self._out_indptr[i]:self._out_indptr[i + 1]]
+
+    def in_neighbors(self, i: int) -> np.ndarray:
+        """``N-(i)``: neighbors with larger labels, sorted ascending."""
+        return self._in_indices[self._in_indptr[i]:self._in_indptr[i + 1]]
+
+    def out_lists(self) -> list[np.ndarray]:
+        """All out-lists as array views (avoids per-call slicing cost)."""
+        return [self.out_neighbors(i) for i in range(self.n)]
+
+    def in_lists(self) -> list[np.ndarray]:
+        """All in-lists as array views."""
+        return [self.in_neighbors(i) for i in range(self.n)]
+
+    def edge_key_set(self) -> set:
+        """Hash set of directed edges encoded as ``src * n + dst``.
+
+        This is the edge-existence hash table the vertex iterators probe
+        (section 2.2). Built lazily and cached.
+        """
+        if self._edge_keys is None:
+            n = np.int64(self.n)
+            keys = np.empty(self.m, dtype=np.int64)
+            pos = 0
+            for i in range(self.n):
+                outs = self.out_neighbors(i)
+                keys[pos:pos + outs.size] = np.int64(i) * n + outs
+                pos += outs.size
+            self._edge_keys = set(keys.tolist())
+        return self._edge_keys
+
+    def has_directed_edge(self, src: int, dst: int) -> bool:
+        """Is there an edge ``src -> dst``? (Requires ``src > dst``.)"""
+        outs = self.out_neighbors(src)
+        pos = int(np.searchsorted(outs, dst))
+        return pos < outs.size and outs[pos] == dst
+
+    def original_vertex(self, label: int) -> int:
+        """Map a label back to the original vertex ID."""
+        if not hasattr(self, "_inverse"):
+            inverse = np.empty(self.n, dtype=np.int64)
+            inverse[self.labels] = np.arange(self.n)
+            self._inverse = inverse
+        return int(self._inverse[label])
+
+    def __repr__(self) -> str:
+        return f"OrientedGraph(n={self.n}, m={self.m})"

@@ -1,0 +1,105 @@
+"""Fenwick (binary indexed) tree for proportional sampling.
+
+Section 7.2 notes that neighbor selection proportional to *residual
+degree* can be done in ``n log n`` total time "using interval trees that
+record the residual probability mass of degree on both sides of each
+node". A Fenwick tree over the residual-degree array provides exactly
+that: point updates and prefix sums in ``O(log n)``, and sampling a node
+with probability proportional to its weight by descending the implicit
+tree in ``O(log n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FenwickTree:
+    """Prefix-sum tree over ``n`` non-negative integer/float weights.
+
+    Supports the three operations the residual-degree generator needs:
+
+    * ``add(i, delta)`` -- point update in ``O(log n)``;
+    * ``prefix_sum(i)`` -- ``sum(w[0..i])`` in ``O(log n)``;
+    * ``sample(target)`` -- the smallest index ``i`` whose prefix sum
+      exceeds ``target``, i.e. a draw proportional to the weights when
+      ``target`` is uniform on ``[0, total)``; ``O(log n)``.
+    """
+
+    def __init__(self, weights):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1:
+            raise ValueError("weights must be one-dimensional")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        self.n = weights.size
+        # classic O(n) construction: tree[i] accumulates its child ranges
+        self._tree = np.zeros(self.n + 1, dtype=np.float64)
+        self._tree[1:] = weights
+        for i in range(1, self.n + 1):
+            parent = i + (i & -i)
+            if parent <= self.n:
+                self._tree[parent] += self._tree[i]
+        self._total = float(weights.sum())
+        # log2 rounded up, for the binary-lifting descent in sample()
+        self._log = max(self.n.bit_length() - 1, 0)
+        if (1 << self._log) < self.n:
+            self._log += 1
+
+    @property
+    def total(self) -> float:
+        """Sum of all weights (maintained incrementally)."""
+        return self._total
+
+    def add(self, index: int, delta: float) -> None:
+        """Add ``delta`` to the weight at ``index`` (0-based)."""
+        if not 0 <= index < self.n:
+            raise IndexError(f"index {index} out of range [0, {self.n})")
+        self._total += delta
+        i = index + 1
+        while i <= self.n:
+            self._tree[i] += delta
+            i += i & -i
+
+    def prefix_sum(self, index: int) -> float:
+        """Sum of weights at positions ``0..index`` inclusive."""
+        if index < 0:
+            return 0.0
+        i = min(index + 1, self.n)
+        total = 0.0
+        while i > 0:
+            total += self._tree[i]
+            i -= i & -i
+        return total
+
+    def get(self, index: int) -> float:
+        """Current weight at ``index``."""
+        return self.prefix_sum(index) - self.prefix_sum(index - 1)
+
+    def sample(self, target: float) -> int:
+        """Smallest 0-based index whose inclusive prefix sum > ``target``.
+
+        With ``target`` uniform on ``[0, total)`` this samples index ``i``
+        with probability ``w[i] / total``. Positions with zero weight are
+        never returned.
+        """
+        if not 0.0 <= target < self._total:
+            raise ValueError(
+                f"target {target} outside [0, {self._total})")
+        pos = 0
+        remaining = target
+        step = 1 << self._log
+        while step > 0:
+            nxt = pos + step
+            if nxt <= self.n and self._tree[nxt] <= remaining:
+                remaining -= self._tree[nxt]
+                pos = nxt
+            step >>= 1
+        return pos  # pos is 0-based because tree is 1-based
+
+    def to_array(self) -> np.ndarray:
+        """Materialize the current weights (for tests/debugging)."""
+        return np.array([self.get(i) for i in range(self.n)])
+
+    def __len__(self) -> int:
+        return self.n

@@ -1,0 +1,67 @@
+"""Plain-text graph and degree-sequence I/O.
+
+Formats are deliberately boring and interoperable:
+
+* edge lists -- one ``u v`` pair per line (comments with ``#``), the
+  format of SNAP datasets like the paper's Twitter graph [27];
+* degree sequences -- one integer per line.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def save_edge_list(graph: Graph, path, header: bool = True) -> None:
+    """Write the graph as a ``u v`` edge list."""
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        if header:
+            fh.write(f"# simple undirected graph: n={graph.n} "
+                     f"m={graph.m}\n")
+        np.savetxt(fh, graph.edges, fmt="%d")
+
+
+def load_edge_list(path, n: int | None = None) -> Graph:
+    """Read a ``u v`` edge-list file (``#`` comments ignored).
+
+    Node IDs must be non-negative integers; ``n`` is inferred as
+    ``max ID + 1`` when not given. Duplicate rows (in either direction)
+    are collapsed; self-loops are dropped -- real-world dumps routinely
+    contain both.
+    """
+    path = pathlib.Path(path)
+    lines = [line for line in path.read_text().splitlines()
+             if line.strip() and not line.lstrip().startswith("#")]
+    if not lines:
+        return Graph(n or 0, [])
+    raw = np.loadtxt(lines, dtype=np.int64, ndmin=2)
+    if raw.shape[1] != 2:
+        raise ValueError(
+            f"expected two columns of node IDs, got shape {raw.shape}")
+    lo = np.minimum(raw[:, 0], raw[:, 1])
+    hi = np.maximum(raw[:, 0], raw[:, 1])
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    if n is None:
+        n = int(max(lo.max(initial=-1), hi.max(initial=-1))) + 1
+    keys = lo * np.int64(n) + hi
+    __, unique_idx = np.unique(keys, return_index=True)
+    edges = np.column_stack([lo[unique_idx], hi[unique_idx]])
+    return Graph(n, edges)
+
+
+def save_degree_sequence(degrees, path) -> None:
+    """Write one degree per line."""
+    np.savetxt(pathlib.Path(path), np.asarray(degrees, dtype=np.int64),
+               fmt="%d")
+
+
+def load_degree_sequence(path) -> np.ndarray:
+    """Read a one-degree-per-line file."""
+    return np.loadtxt(pathlib.Path(path), dtype=np.int64,
+                      comments="#", ndmin=1)

@@ -1,0 +1,85 @@
+"""Triangle listing: all 18 search patterns of section 2 plus baselines.
+
+The paper dissects vertex/edge iterators in an acyclic digraph into 18
+baseline algorithms:
+
+* vertex iterators ``T1``-``T6`` (section 2.2) -- generate candidate
+  pairs around a pivot node and probe an edge-existence hash table;
+* scanning edge iterators ``E1``-``E6`` (section 2.3) -- walk each
+  directed edge and intersect two sorted neighbor lists with two
+  pointers; cost splits into *local* (the first node's list) and
+  *remote* (the partner's list) per Table 1;
+* lookup edge iterators ``L1``-``L6`` -- hash the first node's list once
+  and look the remote windows up against it (Table 2).
+
+Every implementation counts the paper's cost metric exactly (candidate
+tuples for T*, window lengths for E*/L*), so measured ``ops`` match the
+closed-form cost formulas (7)-(9) and Propositions 1-2 identically.
+
+Classical baselines for cross-validation: brute force, the adjacency
+matrix method of Itai-Rodeh [23], Chiba-Nishizeki [13], and
+Forward / Compact-Forward [33]/[28].
+"""
+
+from repro.listing.base import (
+    ListingResult,
+    intersect_sorted,
+    triangles_in_original_ids,
+)
+from repro.listing.vertex_iterator import (
+    run_vertex_iterator,
+    VERTEX_ITERATORS,
+)
+from repro.listing.edge_iterator import (
+    run_edge_iterator,
+    SCANNING_EDGE_ITERATORS,
+)
+from repro.listing.lookup_iterator import (
+    run_lookup_iterator,
+    LOOKUP_EDGE_ITERATORS,
+)
+from repro.listing.api import list_triangles, count_triangles, ALL_METHODS
+from repro.listing.naive import (
+    brute_force_triangles,
+    adjacency_matrix_triangles,
+)
+from repro.listing.chiba_nishizeki import chiba_nishizeki_triangles
+from repro.listing.forward import forward_triangles, compact_forward_triangles
+from repro.listing.partial_preprocessing import (
+    orientation_only_cost,
+    orientation_only_penalty,
+    relabel_only_extra_cost,
+    run_t1_orientation_only,
+    zeta_overhead,
+)
+from repro.listing.approximate import (
+    WedgeEstimate,
+    approximate_triangle_count,
+)
+
+__all__ = [
+    "ListingResult",
+    "intersect_sorted",
+    "triangles_in_original_ids",
+    "run_vertex_iterator",
+    "VERTEX_ITERATORS",
+    "run_edge_iterator",
+    "SCANNING_EDGE_ITERATORS",
+    "run_lookup_iterator",
+    "LOOKUP_EDGE_ITERATORS",
+    "list_triangles",
+    "count_triangles",
+    "ALL_METHODS",
+    "brute_force_triangles",
+    "adjacency_matrix_triangles",
+    "chiba_nishizeki_triangles",
+    "forward_triangles",
+    "compact_forward_triangles",
+    "orientation_only_cost",
+    "orientation_only_penalty",
+    "relabel_only_extra_cost",
+    "run_t1_orientation_only",
+    "zeta_overhead",
+    "WedgeEstimate",
+    "approximate_triangle_count",
+]

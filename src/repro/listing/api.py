@@ -1,0 +1,49 @@
+"""High-level entry points for the 18 listing methods."""
+
+from __future__ import annotations
+
+from repro.listing.base import ListingResult
+from repro.listing.vertex_iterator import run_vertex_iterator, VERTEX_ITERATORS
+from repro.listing.edge_iterator import (
+    run_edge_iterator,
+    SCANNING_EDGE_ITERATORS,
+)
+from repro.listing.lookup_iterator import (
+    run_lookup_iterator,
+    LOOKUP_EDGE_ITERATORS,
+)
+
+#: Every implemented listing method, grouped by family.
+ALL_METHODS = (VERTEX_ITERATORS + SCANNING_EDGE_ITERATORS
+               + LOOKUP_EDGE_ITERATORS)
+
+
+def list_triangles(oriented, method: str = "E1",
+                   collect: bool = True) -> ListingResult:
+    """List all triangles of the oriented graph with the named method.
+
+    ``method`` is one of ``T1``-``T6``, ``E1``-``E6``, or ``L1``-``L6``.
+    Every method enumerates each triangle exactly once (as labels
+    ``x < y < z``); they differ only in traversal order and cost. See
+    :class:`~repro.listing.base.ListingResult` for the returned counters.
+
+    Example::
+
+        oriented = orient(graph, DescendingDegree())
+        result = list_triangles(oriented, method="T1")
+        print(result.count, result.per_node_cost)
+    """
+    method = method.upper()
+    if method in VERTEX_ITERATORS:
+        return run_vertex_iterator(oriented, method, collect)
+    if method in SCANNING_EDGE_ITERATORS:
+        return run_edge_iterator(oriented, method, collect)
+    if method in LOOKUP_EDGE_ITERATORS:
+        return run_lookup_iterator(oriented, method, collect)
+    raise ValueError(
+        f"unknown method {method!r}; choose from {ALL_METHODS}")
+
+
+def count_triangles(oriented, method: str = "E1") -> int:
+    """Count triangles without storing them (``collect=False`` run)."""
+    return list_triangles(oriented, method, collect=False).count

@@ -1,0 +1,68 @@
+"""Wedge-sampling approximate triangle counting.
+
+The introduction cites the streaming/approximate line of work ([4],
+[7]) as one of triangle counting's homes. The classic wedge estimator:
+sample wedges (paths ``u - v - w``) with the correct per-node weights
+``d_v (d_v - 1) / 2``, check whether each closes, and scale. Unbiased,
+with a binomial confidence interval, and orders of magnitude cheaper
+than exact listing when only the count (or the clustering coefficient)
+is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WedgeEstimate:
+    """Outcome of a wedge-sampling run."""
+
+    triangles: float          # estimated triangle count
+    closure_rate: float       # fraction of sampled wedges that closed
+    total_wedges: int         # exact Sigma d(d-1)/2
+    samples: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the triangle count."""
+        p = self.closure_rate
+        half = z * math.sqrt(max(p * (1 - p), 0.0) / self.samples)
+        lo = max((p - half) * self.total_wedges / 3.0, 0.0)
+        hi = (p + half) * self.total_wedges / 3.0
+        return lo, hi
+
+
+def approximate_triangle_count(graph, samples: int,
+                               rng: np.random.Generator) -> WedgeEstimate:
+    """Estimate the triangle count from ``samples`` random wedges.
+
+    Each closed wedge is one of a triangle's three, so
+    ``triangles = closure_rate * total_wedges / 3``. Requires at least
+    one wedge in the graph (``ValueError`` otherwise).
+    """
+    if samples < 1:
+        raise ValueError(f"need at least one sample, got {samples}")
+    d = graph.degrees.astype(np.float64)
+    weights = d * (d - 1.0) / 2.0
+    total = float(weights.sum())
+    if total == 0.0:
+        raise ValueError("graph has no wedges (all degrees <= 1)")
+    centers = rng.choice(graph.n, size=samples, p=weights / total)
+    adjacency = graph.adjacency_sets()
+    closed = 0
+    for v in centers:
+        nbrs = graph.neighbors(int(v))
+        i, j = rng.choice(nbrs.size, size=2, replace=False)
+        u, w = int(nbrs[i]), int(nbrs[j])
+        if w in adjacency[u]:
+            closed += 1
+    rate = closed / samples
+    return WedgeEstimate(
+        triangles=rate * total / 3.0,
+        closure_rate=rate,
+        total_wedges=int(total),
+        samples=samples,
+    )

@@ -1,0 +1,103 @@
+"""Shared infrastructure for the instrumented triangle listers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ListingResult:
+    """Outcome of one triangle-listing run.
+
+    Attributes
+    ----------
+    method:
+        Algorithm name (``"T1"``, ``"E4"``, ``"L3"``, ...).
+    count:
+        Number of triangles listed. Each triangle appears exactly once.
+    triangles:
+        The triangles as ``(x, y, z)`` label triples with ``x < y < z``
+        (label space of the oriented graph), or ``None`` when the run was
+        made with ``collect=False``.
+    ops:
+        The paper's cost metric: candidate tuples for vertex iterators
+        (eqs. (7)-(9)), summed local+remote window lengths for scanning
+        edge iterators (Table 1), remote lookup counts for LEI (Table 2).
+        ``ops / n`` equals ``c_n(M, theta)`` exactly.
+    comparisons:
+        Actual elementary comparisons executed (two-pointer advances for
+        SEI, hash probes for T*/L*). Always ``<= ops`` for SEI since a
+        merge can exhaust one window early.
+    hash_inserts:
+        Elements inserted into hash tables (``m`` for vertex iterators'
+        edge table; sum of local list lengths for LEI).
+    n:
+        Number of nodes, kept so ``per_node_cost`` is self-contained.
+    """
+
+    method: str
+    count: int = 0
+    triangles: list | None = None
+    ops: int = 0
+    comparisons: int = 0
+    hash_inserts: int = 0
+    n: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def per_node_cost(self) -> float:
+        """``c_n(M, theta) = ops / n`` -- the paper's per-node cost (1)."""
+        if self.n == 0:
+            return 0.0
+        return self.ops / self.n
+
+    def triangle_set(self) -> set:
+        """The triangles as a set (requires ``collect=True``)."""
+        if self.triangles is None:
+            raise ValueError(
+                "triangles were not collected; rerun with collect=True")
+        return set(self.triangles)
+
+
+def intersect_sorted(a, b):
+    """Two-pointer intersection of sorted int sequences.
+
+    Returns ``(matches, comparisons)`` where ``comparisons`` counts
+    pointer-advance comparisons, the elementary operation of a scanning
+    edge iterator. Runs in ``O(len(a) + len(b))``.
+    """
+    matches = []
+    i, j = 0, 0
+    la, lb = len(a), len(b)
+    comparisons = 0
+    while i < la and j < lb:
+        comparisons += 1
+        ai, bj = a[i], b[j]
+        if ai == bj:
+            matches.append(ai)
+            i += 1
+            j += 1
+        elif ai < bj:
+            i += 1
+        else:
+            j += 1
+    return matches, comparisons
+
+
+def triangles_in_original_ids(result: ListingResult, oriented) -> set:
+    """Map label-space triangles back to original vertex IDs.
+
+    Returns a set of sorted ``(u, v, w)`` tuples in the vertex ID space
+    of the undirected source graph, for comparison against baselines.
+    """
+    if result.triangles is None:
+        raise ValueError(
+            "triangles were not collected; rerun with collect=True")
+    inverse = {}
+    out = set()
+    for x, y, z in result.triangles:
+        triple = tuple(sorted(
+            inverse.setdefault(v, oriented.original_vertex(v))
+            for v in (x, y, z)))
+        out.add(triple)
+    return out

@@ -1,0 +1,57 @@
+"""Naive baselines: exhaustive search and the adjacency-matrix method.
+
+Section 1.1: "exhaustively checking all 3-node subsets is the most
+obvious solution, but its ~ n^3/6 overhead is far from optimal", and the
+first widely known ``O(m^1.5)`` algorithm [23] (Itai-Rodeh) "requires
+n^2 RAM to store the adjacency matrix". Both serve as ground truth for
+the instrumented iterators in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def brute_force_triangles(graph, limit: int = 2000) -> set:
+    """All-triples enumeration; ``O(n^3)``, for small test graphs only.
+
+    Returns the set of sorted ``(u, v, w)`` vertex triples.
+    """
+    if graph.n > limit:
+        raise ValueError(
+            f"brute force capped at n={limit} (asked for {graph.n})")
+    adjacency = graph.adjacency_sets()
+    triangles = set()
+    for u in range(graph.n):
+        for v in range(u + 1, graph.n):
+            if v not in adjacency[u]:
+                continue
+            for w in range(v + 1, graph.n):
+                if w in adjacency[u] and w in adjacency[v]:
+                    triangles.add((u, v, w))
+    return triangles
+
+
+def adjacency_matrix_triangles(graph, limit: int = 4000) -> set:
+    """Itai-Rodeh-flavored matrix method [23].
+
+    For each edge ``(u, v)`` the common neighbors are read off the
+    boolean adjacency matrix; restricting to ``w > v`` lists each
+    triangle once. Needs ``n^2`` memory, the very limitation the paper
+    cites, so the cap is deliberate.
+    """
+    if graph.n > limit:
+        raise ValueError(
+            f"matrix method capped at n={limit} (asked for {graph.n})")
+    a = np.zeros((graph.n, graph.n), dtype=bool)
+    edges = graph.edges
+    if edges.size:
+        a[edges[:, 0], edges[:, 1]] = True
+        a[edges[:, 1], edges[:, 0]] = True
+    triangles = set()
+    for u, v in edges:
+        u, v = int(u), int(v)  # u < v canonically
+        common = np.flatnonzero(a[u] & a[v])
+        for w in common[common > v]:
+            triangles.add((u, v, int(w)))
+    return triangles

@@ -1,0 +1,64 @@
+"""Permutation sequences converging to a prescribed kernel.
+
+Section 5.1 observes that admissibility works both ways: every
+admissible permutation sequence has a measure-preserving limit kernel,
+and "the opposite is true as well -- any such kernel has some sequence
+of permutations that converges to it". This module implements that
+inverse construction:
+
+For each rank ``j`` draw a target position ``v_j ~ xi(j/n)`` from the
+kernel, then assign labels by the *rank* of ``v_j`` among all draws.
+Measure preservation makes the empirical law of the draws uniform, so
+the rank of ``v_j`` concentrates at ``n v_j`` and the windowed kernel
+estimate (27) of the resulting permutation converges to ``K(v; u)``.
+Deterministic kernels reproduce their permutation exactly (ascending,
+descending); random kernels (uniform, RR, CRR) reproduce theirs in
+distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels import LimitMap
+from repro.orientations.permutations import Permutation
+
+
+class KernelPermutation(Permutation):
+    """Realize an arbitrary measure-preserving limit map as ``theta_n``.
+
+    Parameters
+    ----------
+    limit_map:
+        Any :class:`~repro.core.kernels.LimitMap`; its ``sample`` drives
+        the construction, so custom maps only need that method.
+
+    Notes
+    -----
+    The construction is randomized whenever the kernel is non-degenerate,
+    so an ``rng`` is required unless the map is deterministic (in which
+    case any rng-free call still works because ``sample`` ignores it).
+    """
+
+    def __init__(self, limit_map: LimitMap):
+        self.limit_map = limit_map
+        self.is_random = True
+
+    def rank_to_label(self, n, rng=None):
+        if rng is None:
+            rng = np.random.default_rng()
+        us = (np.arange(n, dtype=float) + 0.5) / n
+        targets = np.asarray(self.limit_map.sample(us, rng), dtype=float)
+        if targets.shape != (n,):
+            raise ValueError(
+                "limit map sample() must return one target per rank")
+        # label = rank of the target among all targets; random jitter
+        # breaks ties (atoms of discrete kernels) without bias
+        jitter = rng.random(n) * 1e-9
+        order = np.argsort(targets + jitter, kind="stable")
+        theta = np.empty(n, dtype=np.int64)
+        theta[order] = np.arange(n, dtype=np.int64)
+        return theta
+
+    def __repr__(self) -> str:
+        return f"KernelPermutation({self.limit_map!r})"

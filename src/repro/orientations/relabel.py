@@ -1,0 +1,59 @@
+"""Steps 1 + 2 of the paper's three-step framework: relabel and orient.
+
+Section 2.1: (1) sort the nodes by the global order O and assign IDs
+sequentially; (2) split each adjacency list into out-neighbors (smaller
+new IDs) and in-neighbors (larger new IDs). Step 3 (listing) lives in
+``repro.listing``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.digraph import OrientedGraph
+from repro.orientations.permutations import Permutation
+
+
+def labels_from_rank_map(degrees, theta,
+                         rng: np.random.Generator | None = None,
+                         tie_break: str = "stable") -> np.ndarray:
+    """Compose ascending-degree ranking with a rank-to-label map.
+
+    ``theta[j]`` is the label given to the vertex of ascending-degree
+    rank ``j``; the returned array maps *vertex ID* to label. Ties in
+    degree are broken by vertex ID (``tie_break="stable"``) or uniformly
+    at random (``tie_break="random"``, needs ``rng``) -- the paper leaves
+    tie-breaking arbitrary.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    theta = np.asarray(theta, dtype=np.int64)
+    n = degrees.size
+    if theta.shape != (n,):
+        raise ValueError(f"theta must have shape ({n},), got {theta.shape}")
+    if tie_break == "stable":
+        ranking = np.argsort(degrees, kind="stable")
+    elif tie_break == "random":
+        if rng is None:
+            raise ValueError("tie_break='random' requires an rng")
+        jitter = rng.random(n)
+        ranking = np.lexsort((jitter, degrees))
+    else:
+        raise ValueError(
+            f"unknown tie_break {tie_break!r}; use 'stable' or 'random'")
+    labels = np.empty(n, dtype=np.int64)
+    labels[ranking] = theta
+    return labels
+
+
+def orient(graph, permutation: Permutation,
+           rng: np.random.Generator | None = None,
+           tie_break: str = "stable") -> OrientedGraph:
+    """Relabel ``graph`` by ``permutation`` and orient every edge.
+
+    Returns the :class:`~repro.graphs.digraph.OrientedGraph`
+    ``G(theta_n)`` in which node IDs are the new labels and each edge
+    points from the larger label to the smaller. Random permutations
+    (``UniformRandom``) and random tie-breaking require ``rng``.
+    """
+    labels = permutation.labels_for(graph, rng=rng, tie_break=tie_break)
+    return OrientedGraph(graph, labels)

@@ -1,0 +1,49 @@
+"""Shared fixtures: small deterministic graphs used across test modules."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DiscretePareto,
+    Graph,
+    generate_graph,
+    sample_degree_sequence,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle_graph():
+    """K3: the smallest graph with a triangle."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def k4_graph():
+    """K4: four triangles."""
+    edges = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+    return Graph(4, edges)
+
+
+@pytest.fixture
+def bowtie_graph():
+    """Two triangles sharing node 2."""
+    return Graph(5, [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)])
+
+
+@pytest.fixture
+def path_graph():
+    """P5: no triangles at all."""
+    return Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def pareto_graph(rng):
+    """A 300-node heavy-tailed random graph (deterministic seed)."""
+    dist = DiscretePareto(alpha=1.8, beta=24.0).truncate(40)
+    degrees = sample_degree_sequence(dist, 300, rng)
+    return generate_graph(degrees, rng)

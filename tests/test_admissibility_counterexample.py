@@ -1,0 +1,67 @@
+"""The paper's admissibility counterexample (Definition 5).
+
+Section 5.1: "Outside of specially crafted counter-examples (e.g.,
+theta_n = theta_A for odd n and theta_D for even), most reasonable
+permutation sequences are admissible." This test *builds* that crafted
+sequence and shows its windowed kernel (27) genuinely fails to
+converge: the odd-n and even-n subsequences settle on two different
+kernels, so the full sequence has no limit -- exactly why Definition 5
+must exclude it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    AscendingMap,
+    DescendingMap,
+    empirical_kernel,
+)
+from repro.orientations.permutations import (
+    AscendingDegree,
+    DescendingDegree,
+    Permutation,
+)
+
+
+class AlternatingPermutation(Permutation):
+    """theta_A for odd n, theta_D for even n -- the paper's example."""
+
+    def rank_to_label(self, n, rng=None):
+        if n % 2 == 1:
+            return AscendingDegree().rank_to_label(n)
+        return DescendingDegree().rank_to_label(n)
+
+
+class TestCounterexample:
+    def test_subsequences_converge_to_different_kernels(self):
+        perm = AlternatingPermutation()
+        u, v = 0.25, 0.6
+        asc_expected = float(AscendingMap().kernel(v, np.float64(u)))
+        desc_expected = float(DescendingMap().kernel(v, np.float64(u)))
+        assert asc_expected != desc_expected  # a discriminating (u, v)
+        odd = [empirical_kernel(perm.rank_to_label(n), u, v)
+               for n in (10_001, 40_001)]
+        even = [empirical_kernel(perm.rank_to_label(n), u, v)
+                for n in (10_000, 40_000)]
+        for value in odd:
+            assert value == pytest.approx(asc_expected, abs=0.02)
+        for value in even:
+            assert value == pytest.approx(desc_expected, abs=0.02)
+
+    def test_full_sequence_does_not_converge(self):
+        """Consecutive n values keep oscillating at fixed (u, v)."""
+        perm = AlternatingPermutation()
+        u, v = 0.25, 0.6
+        values = [empirical_kernel(perm.rank_to_label(n), u, v)
+                  for n in range(20_000, 20_008)]
+        spread = max(values) - min(values)
+        assert spread > 0.5  # nowhere near Cauchy
+
+    def test_admissible_sequences_do_converge(self):
+        """Contrast: theta_D alone is Cauchy in n at the same (u, v)."""
+        u, v = 0.25, 0.6
+        values = [empirical_kernel(DescendingDegree().rank_to_label(n),
+                                   u, v)
+                  for n in range(20_000, 20_008)]
+        assert max(values) - min(values) < 0.02

@@ -1,0 +1,85 @@
+"""Tests for Definition 1 (AMRC) and Proposition 3 (max-degree tails).
+
+Proposition 3: ``P(L_n > n^c) -> 0`` if ``E[D^(1/c)] < inf``. With
+``c = 1/2`` this says finite variance keeps the largest sampled degree
+below ``sqrt(n)`` with probability approaching one -- the condition
+under which the edge-probability model (10) is trustworthy.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import DiscretePareto, sample_degree_sequence
+from repro.distributions import linear_truncation, root_truncation
+
+
+def _exceedance_rate(alpha, beta, n, trials, rng):
+    """Fraction of sampled sequences whose max degree exceeds sqrt(n)."""
+    dist = DiscretePareto(alpha, beta).truncate(linear_truncation(n))
+    hits = 0
+    for __ in range(trials):
+        degrees = sample_degree_sequence(dist, n, rng,
+                                         ensure_even_sum=False,
+                                         ensure_graphical=False)
+        hits += degrees.max() > math.isqrt(n)
+    return hits / trials
+
+
+class TestProposition3:
+    """Prop. 3 is asymptotic: P(L_n > sqrt n) ~ n beta^alpha n^(-a/2),
+    so the convergence is only visible at laptop n when beta is small
+    (beta = 30 (alpha-1) would need n ~ 1e15 to push the constant
+    beta^alpha down). alpha = 4, beta = 2 makes it observable."""
+
+    def test_finite_variance_keeps_max_below_root(self, rng):
+        """E[D^2] < inf with small constants: L_n <= sqrt(n) w.h.p."""
+        rate = _exceedance_rate(4.0, 2.0, 4000, 40, rng)
+        assert rate < 0.2
+
+    def test_exceedance_shrinks_with_n(self, rng):
+        """The Prop. 3 convergence, visible across one decade of n."""
+        alpha, beta = 4.0, 2.0
+        small = _exceedance_rate(alpha, beta, 300, 60, rng)
+        large = _exceedance_rate(alpha, beta, 5000, 60, rng)
+        assert large <= small + 0.05
+
+    def test_heavy_tail_violates_root_constraint(self, rng):
+        """alpha = 1.3 < 2: the max degree blows past sqrt(n) almost
+        always under linear truncation -- the unconstrained regime."""
+        rate = _exceedance_rate(1.3, 9.0, 4000, 30, rng)
+        assert rate > 0.9
+
+    def test_tail_index_rule(self):
+        """E[D^(1/c)] < inf iff 1/c < alpha: the Prop. 3 criterion in
+        terms of the Pareto moments machinery."""
+        dist = DiscretePareto(2.5, 45.0)
+        assert math.isfinite(dist.moment(2))   # c = 1/2 applies
+        assert math.isinf(dist.moment(3))      # c = 1/3 does not
+
+
+class TestDefinition1:
+    def test_root_truncation_is_deterministically_amrc(self, rng):
+        """t_n = sqrt(n) caps L_n by construction: P(L_n > sqrt n) = 0."""
+        n = 2000
+        dist = DiscretePareto(1.3, 9.0).truncate(root_truncation(n))
+        for __ in range(10):
+            degrees = sample_degree_sequence(dist, n, rng)
+            assert degrees.max() <= math.isqrt(n)
+
+    def test_edge_probabilities_bounded_under_amrc(self, rng):
+        """Eq. (10) stays a probability when L_n <= sqrt(n)."""
+        from repro.core.outdegree import edge_probability
+        n = 2000
+        dist = DiscretePareto(1.3, 9.0).truncate(root_truncation(n))
+        degrees = np.sort(sample_degree_sequence(dist, n, rng))[::-1]
+        assert edge_probability(degrees, 0, 1) <= 1.0
+        # and the raw product of the two largest degrees really is
+        # below 2m, the binding case
+        assert degrees[0] * degrees[1] <= degrees.sum()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)

@@ -1,0 +1,48 @@
+"""Tests for wedge-sampling approximate triangle counting."""
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.graphs.analysis import triangle_count_sparse, wedge_count
+from repro.listing.approximate import approximate_triangle_count
+
+
+class TestWedgeSampling:
+    def test_complete_graph_exact(self, k4_graph):
+        """Every wedge of K4 closes: the estimate is exact."""
+        rng = np.random.default_rng(0)
+        est = approximate_triangle_count(k4_graph, 500, rng)
+        assert est.closure_rate == 1.0
+        assert est.triangles == pytest.approx(4.0)
+        assert est.total_wedges == wedge_count(k4_graph)
+
+    def test_triangle_free_graph(self, path_graph):
+        rng = np.random.default_rng(0)
+        est = approximate_triangle_count(path_graph, 300, rng)
+        assert est.closure_rate == 0.0
+        assert est.triangles == 0.0
+
+    def test_unbiased_on_random_graph(self, pareto_graph):
+        rng = np.random.default_rng(1)
+        exact = triangle_count_sparse(pareto_graph)
+        est = approximate_triangle_count(pareto_graph, 30_000, rng)
+        assert est.triangles == pytest.approx(exact, rel=0.15)
+        lo, hi = est.confidence_interval(z=3.5)
+        assert lo <= exact <= hi
+
+    def test_ci_narrows_with_samples(self, pareto_graph):
+        rng = np.random.default_rng(2)
+        small = approximate_triangle_count(pareto_graph, 500, rng)
+        large = approximate_triangle_count(pareto_graph, 20_000, rng)
+        width = lambda e: e.confidence_interval()[1] - \
+            e.confidence_interval()[0]
+        assert width(large) < width(small)
+
+    def test_validation(self, k4_graph):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            approximate_triangle_count(k4_graph, 0, rng)
+        with pytest.raises(ValueError, match="no wedges"):
+            approximate_triangle_count(Graph(4, [(0, 1), (2, 3)]),
+                                       10, rng)

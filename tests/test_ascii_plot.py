@@ -1,0 +1,54 @@
+"""Tests for the dependency-free ASCII charting helper."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        chart = ascii_plot({"line": ([0, 1, 2], [0, 1, 2])},
+                           title="t", xlabel="x", ylabel="y")
+        assert "t" in chart
+        assert "o = line" in chart
+        assert "|" in chart and "+" in chart
+
+    def test_markers_cycle_per_series(self):
+        chart = ascii_plot({"a": ([0, 1], [0, 1]),
+                            "b": ([0, 1], [1, 0])})
+        assert "o = a" in chart
+        assert "x = b" in chart
+
+    def test_infinite_points_dropped(self):
+        chart = ascii_plot({"s": ([1, 2, 3], [1.0, math.inf, 3.0])})
+        assert "o = s" in chart  # survives with the finite points
+
+    def test_all_infinite_series_message(self):
+        chart = ascii_plot({"s": ([1, 2], [math.inf, math.nan])},
+                           title="empty")
+        assert "no finite data" in chart
+
+    def test_logy_requires_positive(self):
+        chart = ascii_plot({"s": ([1, 2, 3], [0.0, 10.0, 100.0])},
+                           logy=True)
+        assert "o = s" in chart  # the zero point is dropped, not fatal
+
+    def test_axis_labels_present(self):
+        chart = ascii_plot({"s": ([0, 10], [5, 50])},
+                           xlabel="n", ylabel="cost")
+        assert "cost" in chart
+        assert "n" in chart
+
+    def test_constant_series(self):
+        """Degenerate ranges must not divide by zero."""
+        chart = ascii_plot({"flat": ([1, 2, 3], [7, 7, 7])})
+        assert "o = flat" in chart
+
+    def test_extremes_land_on_borders(self):
+        chart = ascii_plot({"s": ([0, 1], [0, 1])}, width=20, height=5)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert rows[0].rstrip().endswith("o")   # max at top-right
+        assert "o" in rows[-1]                  # min at bottom

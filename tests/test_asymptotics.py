@@ -1,0 +1,140 @@
+"""Tests for finiteness thresholds and scaling rates (section 6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.asymptotics import (
+    e1_scaling_rate,
+    finiteness_threshold,
+    fit_growth_exponent,
+    h_tail_exponent,
+    is_cost_finite,
+    spread_tail,
+    t1_scaling_rate,
+)
+
+
+class TestTailExponents:
+    @pytest.mark.parametrize("method,map_name,expected", [
+        ("T1", "descending", 2),   # h(1-u) ~ (1-u)^2
+        ("T1", "ascending", 0),    # h(u) -> 1/2
+        ("T2", "descending", 1),
+        ("T2", "ascending", 1),
+        ("T2", "rr", 1),
+        ("E1", "descending", 1),
+        ("E1", "ascending", 0),
+        ("E1", "rr", 0),
+        ("E4", "crr", 0),
+        ("E4", "descending", 0),
+        ("T1", "uniform", 0),
+        ("T3", "ascending", 2),    # mirror of T1 + descending
+    ])
+    def test_exponents(self, method, map_name, expected):
+        assert h_tail_exponent(method, map_name) == expected
+
+
+class TestThresholds:
+    """All thresholds the paper states, from one rule."""
+
+    @pytest.mark.parametrize("method,map_name,threshold", [
+        ("T1", "descending", 4 / 3),
+        ("T1", "ascending", 2.0),
+        ("T2", "descending", 1.5),
+        ("T2", "rr", 1.5),
+        ("E1", "descending", 1.5),
+        ("E1", "rr", 2.0),
+        ("E4", "crr", 2.0),
+        ("E1", "uniform", 2.0),
+    ])
+    def test_threshold_values(self, method, map_name, threshold):
+        assert finiteness_threshold(method, map_name) \
+            == pytest.approx(threshold)
+
+    def test_is_cost_finite(self):
+        assert is_cost_finite(1.4, "T1", "descending")
+        assert not is_cost_finite(1.3, "T1", "descending")
+        assert is_cost_finite(1.6, "E1", "descending")
+        assert not is_cost_finite(1.5, "E1", "descending")
+
+    def test_four_regimes_of_vertex_iterator(self):
+        """Section 4.2: thresholds 4/3 < 1.5 < 2 partition alpha."""
+        t1d = finiteness_threshold("T1", "descending")
+        t2 = finiteness_threshold("T2", "descending")
+        t1a = finiteness_threshold("T1", "ascending")
+        assert t1d < t2 < t1a
+
+
+class TestSpreadTail:
+    def test_alpha_above_one(self):
+        np.testing.assert_allclose(spread_tail(2.0, 100.0), 0.01)
+
+    def test_alpha_one_needs_tn(self):
+        with pytest.raises(ValueError):
+            spread_tail(1.0, 10.0)
+        val = spread_tail(1.0, 10.0, t_n=100.0)
+        assert val == pytest.approx(0.5)
+
+    def test_alpha_below_one(self):
+        val = spread_tail(0.5, 25.0, t_n=100.0)
+        assert val == pytest.approx(1.0 - 5.0 / 10.0)
+
+
+class TestScalingRates:
+    def test_t1_rate_regimes(self):
+        n = np.array([1e4, 1e6])
+        np.testing.assert_allclose(t1_scaling_rate(4 / 3, n), np.log(n))
+        np.testing.assert_allclose(t1_scaling_rate(1.2, n), n**0.2)
+        np.testing.assert_allclose(t1_scaling_rate(1.0, n),
+                                   np.sqrt(n) / np.log(n) ** 2)
+        np.testing.assert_allclose(t1_scaling_rate(0.5, n), n**0.75)
+
+    def test_e1_rate_regimes(self):
+        n = np.array([1e4, 1e6])
+        np.testing.assert_allclose(e1_scaling_rate(1.5, n), np.log(n))
+        np.testing.assert_allclose(e1_scaling_rate(1.2, n), n**0.3)
+        np.testing.assert_allclose(e1_scaling_rate(1.0, n),
+                                   np.sqrt(n) / np.log(n))
+        np.testing.assert_allclose(e1_scaling_rate(0.5, n), n**0.75)
+
+    def test_rates_error_above_threshold(self):
+        with pytest.raises(ValueError):
+            t1_scaling_rate(1.4, 1e6)
+        with pytest.raises(ValueError):
+            e1_scaling_rate(1.6, 1e6)
+        with pytest.raises(ValueError):
+            t1_scaling_rate(-1.0, 1e6)
+
+    def test_t1_grows_slower_than_e1_between_1_and_15(self):
+        """Section 6.3: a_n = o(b_n) for alpha in [1, 1.5)."""
+        for alpha in (1.1, 1.25, 1.32):
+            small = t1_scaling_rate(alpha, 1e8) / t1_scaling_rate(alpha, 1e4)
+            big = e1_scaling_rate(alpha, 1e8) / e1_scaling_rate(alpha, 1e4)
+            assert small < big
+
+    def test_same_rate_below_one(self):
+        """Section 6.3: identical scaling for alpha in (0, 1)."""
+        for alpha in (0.3, 0.7, 0.95):
+            np.testing.assert_allclose(t1_scaling_rate(alpha, 1e7),
+                                       e1_scaling_rate(alpha, 1e7))
+
+    def test_model_growth_matches_rate_alpha_12(self):
+        """The model's T1+D growth under root truncation tracks
+        n^(2 - 1.5 alpha) for alpha = 1.2 (eq. (47))."""
+        from repro import DiscretePareto, fast_cost_model
+        from repro.distributions import root_truncation
+        dist = DiscretePareto(1.2, 6.0)
+        ns = [10**10, 10**11, 10**12, 10**13]
+        costs = [fast_cost_model(dist.truncate(root_truncation(n)), "T1",
+                                 "descending", eps=1e-4) for n in ns]
+        slope = fit_growth_exponent(ns, costs)
+        assert slope == pytest.approx(2 - 1.5 * 1.2, abs=0.05)
+
+
+class TestFitGrowthExponent:
+    def test_pure_power_law(self):
+        ns = np.array([10.0, 100.0, 1000.0])
+        assert fit_growth_exponent(ns, ns**1.7) == pytest.approx(1.7)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_growth_exponent([10.0], [1.0])

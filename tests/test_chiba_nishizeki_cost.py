@@ -1,0 +1,68 @@
+"""Exact cost accounting for Chiba-Nishizeki (section 2.4's claim).
+
+The paper: CN "proposes a variation of L3 where acyclic orientation
+holds only for two of the three edges in each triangle. As a result,
+its complexity is c_n(E1, theta) rather than c_n(T2, theta)."
+
+Deriving the exact count: label nodes by reverse processing order
+(first removed = largest label). When CN processes ``v`` and scans
+``N(u)`` for a live neighbor ``u``, the live entries are ``u``'s
+``X_u`` out-neighbors plus its in-neighbors with labels up to
+``label(v)`` (including ``v`` itself). Summing over all scans gives
+
+    ``ops = T2 + T3 + m``
+
+-- the E3 member of the E1 equivalence class plus the unavoidable
+self-hits, confirming CN pays edge-iterator cost, not vertex-iterator
+(T2) cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro import OrientedGraph
+from repro.core.costs import total_cost
+from repro.listing.chiba_nishizeki import (
+    chiba_nishizeki_processing_labels,
+    chiba_nishizeki_triangles,
+)
+
+
+class TestExactAccounting:
+    def test_ops_equal_e3_plus_m(self, pareto_graph):
+        triangles, ops = chiba_nishizeki_triangles(pareto_graph,
+                                                   count_ops=True)
+        labels = chiba_nishizeki_processing_labels(pareto_graph)
+        oriented = OrientedGraph(pareto_graph, labels)
+        e3 = total_cost("E3", oriented.out_degrees, oriented.in_degrees)
+        assert ops == int(e3) + pareto_graph.m
+
+    def test_ops_equal_e3_plus_m_small_graphs(self, k4_graph,
+                                              bowtie_graph, path_graph):
+        for graph in (k4_graph, bowtie_graph, path_graph):
+            __, ops = chiba_nishizeki_triangles(graph, count_ops=True)
+            labels = chiba_nishizeki_processing_labels(graph)
+            oriented = OrientedGraph(graph, labels)
+            e3 = total_cost("E3", oriented.out_degrees,
+                            oriented.in_degrees)
+            assert ops == int(e3) + graph.m
+
+    def test_cn_costs_more_than_pure_t2(self, pareto_graph):
+        """The section 2.4 point: CN is not a c_n(T2) algorithm."""
+        __, ops = chiba_nishizeki_triangles(pareto_graph, count_ops=True)
+        labels = chiba_nishizeki_processing_labels(pareto_graph)
+        oriented = OrientedGraph(pareto_graph, labels)
+        t2 = total_cost("T2", oriented.out_degrees, oriented.in_degrees)
+        assert ops > t2
+
+    def test_labels_are_ascending_degree_like(self, pareto_graph):
+        """Descending-degree removal = hubs get the largest labels."""
+        labels = chiba_nishizeki_processing_labels(pareto_graph)
+        hub = int(np.argmax(pareto_graph.degrees))
+        assert labels[hub] == pareto_graph.n - 1
+
+    def test_triangles_unchanged_by_instrumentation(self, bowtie_graph):
+        plain = chiba_nishizeki_triangles(bowtie_graph)
+        counted, __ = chiba_nishizeki_triangles(bowtie_graph,
+                                                count_ops=True)
+        assert plain == counted == {(0, 1, 2), (2, 3, 4)}

@@ -1,0 +1,45 @@
+"""Tests for the per-graph method comparison harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.comparison import (
+    MethodProfile,
+    compare_methods,
+    format_comparison,
+)
+
+
+class TestCompareMethods:
+    def test_sorted_by_cost(self, pareto_graph):
+        profiles = compare_methods(pareto_graph)
+        costs = [p.per_node_cost for p in profiles]
+        assert costs == sorted(costs)
+
+    def test_t1_wins_under_optimal_orders(self, pareto_graph):
+        """Theorems 4-5: under each method's optimal ordering, T1 has
+        the lowest operation count of the fundamental four."""
+        profiles = compare_methods(pareto_graph, time_runs=False)
+        assert profiles[0].method == "T1"
+        assert profiles[0].order == "descending"
+
+    def test_counts_agree(self, pareto_graph):
+        profiles = compare_methods(pareto_graph)
+        counts = {p.triangles for p in profiles}
+        assert len(counts) == 1
+
+    def test_skip_timing(self, pareto_graph):
+        profiles = compare_methods(pareto_graph, time_runs=False)
+        assert all(p.seconds == 0.0 for p in profiles)
+        assert all(p.triangles == -1 for p in profiles)
+
+    def test_format_includes_verdict(self, pareto_graph):
+        text = format_comparison(compare_methods(pareto_graph))
+        assert "w = c(E1)/c(T1)" in text
+        assert "hash" in text or "SEI" in text
+
+    def test_ops_per_second_property(self):
+        profile = MethodProfile("T1", "descending", 10.0, 2.0, 5)
+        assert profile.ops_per_second == pytest.approx(5.0)
+        zero = MethodProfile("T1", "descending", 10.0, 0.0, 5)
+        assert zero.ops_per_second == float("inf")

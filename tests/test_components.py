@@ -1,0 +1,72 @@
+"""Tests for connected components and induced subgraphs."""
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.graphs.analysis import triangle_count_sparse
+from repro.graphs.components import (
+    component_sizes,
+    connected_components,
+    induced_subgraph,
+    largest_component,
+)
+
+
+@pytest.fixture
+def two_islands():
+    """A triangle plus a 4-path plus an isolated node."""
+    return Graph(8, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (5, 6)])
+
+
+class TestConnectedComponents:
+    def test_labels(self, two_islands):
+        labels = connected_components(two_islands)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5] == labels[6]
+        assert labels[0] != labels[3]
+        assert labels[7] not in (labels[0], labels[3])
+
+    def test_sizes_descending(self, two_islands):
+        np.testing.assert_array_equal(component_sizes(two_islands),
+                                      [4, 3, 1])
+
+    def test_single_component(self, k4_graph):
+        assert len(set(connected_components(k4_graph))) == 1
+
+    def test_empty_graph(self):
+        assert connected_components(Graph(0, [])).size == 0
+        assert component_sizes(Graph(0, [])).size == 0
+
+    def test_matches_networkx(self, pareto_graph):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.Graph()
+        nx_graph.add_nodes_from(range(pareto_graph.n))
+        nx_graph.add_edges_from(map(tuple, pareto_graph.edges.tolist()))
+        expected = networkx.number_connected_components(nx_graph)
+        assert len(set(connected_components(pareto_graph))) == expected
+
+
+class TestSubgraphs:
+    def test_largest_component(self, two_islands):
+        sub, node_map = largest_component(two_islands)
+        assert sub.n == 4
+        assert sub.m == 3
+        np.testing.assert_array_equal(node_map, [3, 4, 5, 6])
+
+    def test_triangles_preserved(self, two_islands):
+        sub, __ = induced_subgraph(two_islands, [0, 1, 2])
+        assert triangle_count_sparse(sub) == 1
+
+    def test_induced_drops_outside_edges(self, two_islands):
+        sub, node_map = induced_subgraph(two_islands, [2, 3, 4])
+        assert sub.m == 1  # only (3, 4) survives
+        np.testing.assert_array_equal(node_map, [2, 3, 4])
+
+    def test_out_of_range(self, two_islands):
+        with pytest.raises(ValueError):
+            induced_subgraph(two_islands, [99])
+
+    def test_empty_graph_largest(self):
+        sub, node_map = largest_component(Graph(0, []))
+        assert sub.n == 0 and node_map.size == 0

@@ -1,0 +1,92 @@
+"""Tests for the compressed-adjacency substrate (section 2.4 aside)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DescendingDegree, list_triangles, orient
+from repro.graphs.compressed import (
+    CompressedOrientedGraph,
+    decode_varint_deltas,
+    encode_varint_deltas,
+    iter_varint_deltas,
+    run_e1_compressed,
+)
+
+
+class TestVarintCodec:
+    def test_roundtrip_basic(self):
+        values = [0, 1, 5, 6, 130, 10_000, 10_001]
+        assert decode_varint_deltas(encode_varint_deltas(values)) == values
+
+    def test_empty(self):
+        assert decode_varint_deltas(encode_varint_deltas([])) == []
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError):
+            encode_varint_deltas([3, 3])
+        with pytest.raises(ValueError):
+            encode_varint_deltas([5, 2])
+
+    def test_truncated_stream(self):
+        blob = encode_varint_deltas([1_000_000])
+        with pytest.raises(ValueError):
+            list(iter_varint_deltas(blob[:-1]))
+
+    def test_dense_lists_compress_well(self):
+        """Consecutive IDs encode to one byte each."""
+        values = list(range(1000, 2000))
+        blob = encode_varint_deltas(values)
+        assert len(blob) <= 1000 + 2  # ~1 byte/value after the head
+
+    @given(st.sets(st.integers(min_value=0, max_value=2**40),
+                   max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, values):
+        ordered = sorted(values)
+        assert decode_varint_deltas(
+            encode_varint_deltas(ordered)) == ordered
+
+
+class TestCompressedGraph:
+    def test_lists_roundtrip(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        compressed = CompressedOrientedGraph(oriented)
+        for i in range(0, oriented.n, 13):
+            assert list(compressed.iter_out(i)) \
+                == oriented.out_neighbors(i).tolist()
+            assert list(compressed.iter_in(i)) \
+                == oriented.in_neighbors(i).tolist()
+
+    def test_degrees_preserved(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        compressed = CompressedOrientedGraph(oriented)
+        np.testing.assert_array_equal(compressed.out_degrees,
+                                      oriented.out_degrees)
+        np.testing.assert_array_equal(compressed.in_degrees,
+                                      oriented.in_degrees)
+
+    def test_compression_saves_space(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        compressed = CompressedOrientedGraph(oriented)
+        assert compressed.compressed_bytes() \
+            < compressed.uncompressed_bytes()
+
+
+class TestCompressedE1:
+    def test_same_triangles_and_ops(self, pareto_graph):
+        """The streaming E1 matches the uncompressed one exactly."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        compressed = CompressedOrientedGraph(oriented)
+        reference = list_triangles(oriented, "E1")
+        streamed = run_e1_compressed(compressed)
+        assert streamed.count == reference.count
+        assert streamed.triangle_set() == reference.triangle_set()
+        assert streamed.ops == reference.ops
+
+    def test_collect_false(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        compressed = CompressedOrientedGraph(oriented)
+        result = run_e1_compressed(compressed, collect=False)
+        assert result.count == list_triangles(oriented, "E1").count
+        assert result.triangles is None

@@ -1,0 +1,65 @@
+"""Tests for per-node cost profiles and concentration diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro import AscendingDegree, DescendingDegree, orient
+from repro.core.costs import (
+    cost_concentration,
+    per_node_profile,
+    total_cost,
+)
+
+
+class TestPerNodeProfile:
+    def test_sums_to_total(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        for method in ("T1", "T2", "E1", "E4", "L3"):
+            profile = per_node_profile(method, oriented.out_degrees,
+                                       oriented.in_degrees)
+            assert profile.sum() == pytest.approx(
+                total_cost(method, oriented.out_degrees,
+                           oriented.in_degrees))
+
+    def test_manual_values(self):
+        x = np.array([3.0, 0.0])
+        y = np.array([1.0, 2.0])
+        np.testing.assert_allclose(per_node_profile("T1", x, y), [3, 0])
+        np.testing.assert_allclose(per_node_profile("T2", x, y), [3, 0])
+        np.testing.assert_allclose(per_node_profile("E4", x, y), [3, 1])
+
+    def test_nonnegative(self, pareto_graph):
+        oriented = orient(pareto_graph, AscendingDegree())
+        profile = per_node_profile("E1", oriented.out_degrees,
+                                   oriented.in_degrees)
+        assert np.all(profile >= 0)
+
+
+class TestConcentration:
+    def test_bounds(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        share = cost_concentration("T1", oriented.out_degrees,
+                                   oriented.in_degrees, 0.05)
+        assert 0.0 <= share <= 1.0
+
+    def test_ascending_concentrates_t1_on_hubs(self, pareto_graph):
+        """Under ascending, hubs carry T1's quadratic out-degree mass;
+        descending flattens it -- the mechanism behind Corollary 1."""
+        asc = orient(pareto_graph, AscendingDegree())
+        desc = orient(pareto_graph, DescendingDegree())
+        asc_share = cost_concentration("T1", asc.out_degrees,
+                                       asc.in_degrees, 0.02)
+        desc_share = cost_concentration("T1", desc.out_degrees,
+                                        desc.in_degrees, 0.02)
+        assert asc_share > desc_share
+
+    def test_zero_cost_graph(self, path_graph):
+        oriented = orient(path_graph, DescendingDegree())
+        assert cost_concentration("T1", oriented.out_degrees,
+                                  oriented.in_degrees) >= 0.0
+
+    def test_validation(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        with pytest.raises(ValueError):
+            cost_concentration("T1", oriented.out_degrees,
+                               oriented.in_degrees, 0.0)

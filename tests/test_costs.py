@@ -1,0 +1,81 @@
+"""Tests for the exact cost evaluator (eqs. (7)-(9), Prop. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costs import (
+    cost_t1,
+    cost_t2,
+    cost_t3,
+    method_cost,
+    per_node_cost,
+    total_cost,
+)
+
+degree_arrays = st.lists(st.integers(min_value=0, max_value=50),
+                         min_size=1, max_size=40)
+
+
+class TestBaseFormulas:
+    def test_t1_manual(self):
+        assert cost_t1([0, 1, 2, 3]) == 0 + 0 + 1 + 3
+
+    def test_t2_manual(self):
+        assert cost_t2([1, 2], [3, 4]) == 3 + 8
+
+    def test_t3_manual(self):
+        assert cost_t3([4]) == 6
+
+    @given(degree_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_t1_matches_loop(self, xs):
+        expected = sum(x * (x - 1) / 2 for x in xs)
+        assert cost_t1(xs) == pytest.approx(expected)
+
+    @given(degree_arrays, degree_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_t2_matches_loop(self, xs, ys):
+        k = min(len(xs), len(ys))
+        xs, ys = xs[:k], ys[:k]
+        expected = sum(x * y for x, y in zip(xs, ys))
+        assert cost_t2(xs, ys) == pytest.approx(expected)
+
+
+class TestComposition:
+    def test_e1_is_t1_plus_t2(self):
+        xs = np.array([2, 3, 0, 5])
+        ys = np.array([1, 0, 4, 2])
+        assert total_cost("E1", xs, ys) == pytest.approx(
+            cost_t1(xs) + cost_t2(xs, ys))
+
+    def test_e4_is_t1_plus_t3(self):
+        xs = np.array([2, 3, 0, 5])
+        ys = np.array([1, 0, 4, 2])
+        assert total_cost("E4", xs, ys) == pytest.approx(
+            cost_t1(xs) + cost_t3(ys))
+
+    def test_lei_costs(self):
+        xs = np.array([2, 3])
+        ys = np.array([1, 4])
+        assert total_cost("L2", xs, ys) == pytest.approx(cost_t1(xs))
+        assert total_cost("L1", xs, ys) == pytest.approx(cost_t2(xs, ys))
+        assert total_cost("L4", xs, ys) == pytest.approx(cost_t3(ys))
+
+    def test_per_node_divides_by_n(self):
+        xs = np.array([2, 2, 2, 2])
+        ys = np.array([1, 1, 1, 1])
+        assert per_node_cost("T2", xs, ys) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert per_node_cost("T1", np.array([]), np.array([])) == 0.0
+
+
+class TestOnOrientedGraph:
+    def test_method_cost_agrees_with_listing(self, pareto_graph):
+        from repro import DescendingDegree, list_triangles, orient
+        oriented = orient(pareto_graph, DescendingDegree())
+        for method in ("T1", "T2", "E1", "E4", "L3"):
+            listed = list_triangles(oriented, method, collect=False)
+            assert method_cost(oriented, method) == pytest.approx(
+                listed.per_node_cost)

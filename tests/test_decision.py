@@ -1,0 +1,69 @@
+"""Tests for the SEI-vs-hash decision rule (section 2.4 + 6.3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import DescendingDegree, DiscretePareto, orient
+from repro.core.decision import (
+    PAPER_SPEED_RATIO,
+    cost_ratio_w,
+    decide_in_limit,
+    decide_on_graph,
+)
+
+
+class TestOnGraph:
+    def test_ratio_above_one(self, pareto_graph):
+        """SEI always needs at least as many ops as the best hash
+        method (E1 = T1 + T2 >= max(T1, T2) >= min over T's)."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        assert cost_ratio_w(oriented) >= 1.0
+
+    def test_decision_fields(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        decision = decide_on_graph(oriented)
+        assert decision.best_hash_method in ("T1", "T2", "T3")
+        assert decision.best_sei_method in ("E1", "E4")
+        assert decision.cost_ratio == pytest.approx(
+            decision.best_sei_cost / decision.best_hash_cost)
+        assert decision.speed_ratio == pytest.approx(PAPER_SPEED_RATIO)
+
+    def test_sei_wins_with_paper_hardware(self, pareto_graph):
+        """w_n is single-digit on typical graphs, far below 95: with
+        SIMD hardware SEI wins -- the practical takeaway of Table 3."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        decision = decide_on_graph(oriented)
+        assert decision.cost_ratio < 10
+        assert decision.sei_wins
+
+    def test_hash_wins_with_slow_scanning(self, pareto_graph):
+        """A runtime whose scan is no faster than its hash flips the
+        decision."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        decision = decide_on_graph(oriented, speed_ratio=1.0)
+        assert decision.winner == "hash"
+
+
+class TestInLimit:
+    def test_t1_provably_wins_between_thresholds(self):
+        """alpha in (4/3, 1.5]: T1 finite, E1 infinite -- hash wins
+        regardless of hardware."""
+        decision = decide_in_limit(DiscretePareto(1.45, 13.5),
+                                   t_max=1e12)
+        assert math.isfinite(decision.best_hash_cost)
+        assert math.isinf(decision.best_sei_cost)
+        assert math.isinf(decision.cost_ratio)
+        assert decision.winner == "hash"
+
+    def test_sei_wins_for_light_tails(self):
+        """alpha > 1.5: both finite, ratio ~2-4 << 95: SEI wins."""
+        decision = decide_in_limit(DiscretePareto(2.5, 45.0), t_max=1e12)
+        assert decision.cost_ratio < 10
+        assert decision.sei_wins
+
+    def test_both_infinite_is_nan(self):
+        """alpha <= 4/3: both diverge; growth rates decide instead."""
+        decision = decide_in_limit(DiscretePareto(1.25, 7.5), t_max=1e12)
+        assert math.isnan(decision.cost_ratio)

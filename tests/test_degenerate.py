@@ -1,0 +1,66 @@
+"""Tests for the degenerate (smallest-last) orientation [29]."""
+
+import numpy as np
+import pytest
+
+from repro import DegenerateOrder, DescendingDegree, Graph, orient
+from repro.orientations.degenerate import smallest_last_order
+
+
+def _path(n):
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def _cycle(n):
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def _complete(n):
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+class TestSmallestLast:
+    def test_degeneracy_of_known_graphs(self):
+        assert smallest_last_order(_path(8))[1] == 1
+        assert smallest_last_order(_cycle(8))[1] == 2
+        assert smallest_last_order(_complete(6))[1] == 5
+
+    def test_tree_degeneracy_one(self):
+        tree = Graph(7, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)])
+        assert smallest_last_order(tree)[1] == 1
+
+    def test_order_is_permutation(self, pareto_graph):
+        order, __ = smallest_last_order(pareto_graph)
+        assert sorted(order.tolist()) == list(range(pareto_graph.n))
+
+    def test_first_removed_has_min_degree(self, pareto_graph):
+        order, __ = smallest_last_order(pareto_graph)
+        assert (pareto_graph.degrees[order[0]]
+                == pareto_graph.degrees.min())
+
+
+class TestDegenerateOrientation:
+    def test_max_out_degree_equals_degeneracy(self, pareto_graph):
+        """The defining property: min_theta max_i X_i(theta)."""
+        __, degeneracy = smallest_last_order(pareto_graph)
+        oriented = orient(pareto_graph, DegenerateOrder())
+        assert int(oriented.out_degrees.max()) == degeneracy
+
+    def test_beats_descending_on_max_out_degree(self, pareto_graph):
+        degen = orient(pareto_graph, DegenerateOrder())
+        desc = orient(pareto_graph, DescendingDegree())
+        assert degen.out_degrees.max() <= desc.out_degrees.max()
+
+    def test_same_triangles(self, pareto_graph):
+        from repro import count_triangles
+        degen = orient(pareto_graph, DegenerateOrder())
+        desc = orient(pareto_graph, DescendingDegree())
+        assert count_triangles(degen) == count_triangles(desc)
+
+    def test_rank_to_label_raises(self):
+        with pytest.raises(TypeError):
+            DegenerateOrder().rank_to_label(5)
+
+    def test_complete_graph_out_degrees(self):
+        oriented = orient(_complete(5), DegenerateOrder())
+        assert sorted(oriented.out_degrees.tolist()) == [0, 1, 2, 3, 4]

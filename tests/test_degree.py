@@ -1,0 +1,52 @@
+"""Tests for degree-sequence utilities (Erdos-Gallai, order statistics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    ascending_order_statistics,
+    degree_histogram,
+    erdos_gallai_graphical,
+)
+
+
+class TestErdosGallai:
+    def test_known_graphic_sequences(self):
+        assert erdos_gallai_graphical([])
+        assert erdos_gallai_graphical([0])
+        assert erdos_gallai_graphical([1, 1])
+        assert erdos_gallai_graphical([2, 2, 2])          # triangle
+        assert erdos_gallai_graphical([3, 3, 3, 3])       # K4
+        assert erdos_gallai_graphical([2, 2, 2, 2, 2])    # C5
+        assert erdos_gallai_graphical([3, 2, 2, 2, 1])
+
+    def test_known_non_graphic_sequences(self):
+        assert not erdos_gallai_graphical([1])            # odd sum
+        assert not erdos_gallai_graphical([2, 2, 1])      # odd sum
+        assert not erdos_gallai_graphical([4, 4, 4, 1, 1])  # EG violated
+        assert not erdos_gallai_graphical([5, 1, 1, 1])   # degree >= n
+        assert not erdos_gallai_graphical([-1, 1])
+
+    def test_star_graphs(self):
+        assert erdos_gallai_graphical([4, 1, 1, 1, 1])
+        assert not erdos_gallai_graphical([5, 1, 1, 1, 1])
+
+    @given(st.lists(st.integers(min_value=0, max_value=8),
+                    min_size=2, max_size=12))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_networkx(self, degrees):
+        networkx = pytest.importorskip("networkx")
+        assert erdos_gallai_graphical(degrees) == \
+            networkx.is_graphical(degrees)
+
+
+class TestOrderStatistics:
+    def test_ascending_sort(self):
+        result = ascending_order_statistics([5, 1, 3, 3])
+        np.testing.assert_array_equal(result, [1, 3, 3, 5])
+
+    def test_histogram(self):
+        values, counts = degree_histogram([2, 2, 5, 1, 2])
+        np.testing.assert_array_equal(values, [1, 2, 5])
+        np.testing.assert_array_equal(counts, [1, 3, 1])

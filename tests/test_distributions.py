@@ -1,0 +1,313 @@
+"""Unit tests for degree distributions, truncation, and sampling."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributions import (
+    ContinuousPareto,
+    DiscretePareto,
+    EmpiricalDegreeDistribution,
+    GeometricDegree,
+    TruncatedDistribution,
+    ZipfDegree,
+    linear_truncation,
+    power_truncation,
+    root_truncation,
+    sample_degree_sequence,
+)
+
+
+class TestDiscretePareto:
+    def test_cdf_matches_paper_form(self):
+        dist = DiscretePareto(alpha=1.5, beta=15.0)
+        for x in [1, 2, 7, 100]:
+            expected = 1.0 - (1.0 + math.floor(x) / 15.0) ** -1.5
+            assert dist.cdf(x) == pytest.approx(expected)
+
+    def test_cdf_zero_below_support(self):
+        dist = DiscretePareto(alpha=2.0, beta=10.0)
+        assert dist.cdf(0) == 0.0
+        assert dist.cdf(0.9) == 0.0
+        assert dist.cdf(-5) == 0.0
+
+    def test_cdf_is_step_function(self):
+        """F(x) depends only on floor(x), per the round-up discretization."""
+        dist = DiscretePareto(alpha=1.5, beta=15.0)
+        assert dist.cdf(3.0) == dist.cdf(3.7)
+        assert dist.cdf(3.999) < dist.cdf(4.0)
+
+    def test_pmf_sums_to_cdf(self):
+        dist = DiscretePareto(alpha=1.7, beta=21.0)
+        ks = np.arange(1, 200)
+        assert np.sum(dist.pmf(ks)) == pytest.approx(float(dist.cdf(199)))
+
+    def test_pmf_zero_on_non_integers(self):
+        dist = DiscretePareto(alpha=1.7, beta=21.0)
+        assert dist.pmf(2.5) == 0.0
+        assert dist.pmf(0) == 0.0
+
+    def test_mean_hurwitz_zeta_vs_summation(self):
+        dist = DiscretePareto(alpha=2.5, beta=45.0)
+        ks = np.arange(1, 2_000_000, dtype=float)
+        brute = float(np.sum(ks * dist.pmf(ks)))
+        assert dist.mean() == pytest.approx(brute, rel=1e-3)
+
+    def test_paper_parameterization_mean_about_30(self):
+        """beta = 30 (alpha - 1) keeps E[D] ~= 30.5 (section 7.3)."""
+        for alpha in [1.5, 1.7, 2.1]:
+            dist = DiscretePareto.paper_parameterization(alpha)
+            assert dist.mean() == pytest.approx(30.5, abs=0.2)
+
+    def test_paper_parameterization_rejects_alpha_below_one(self):
+        with pytest.raises(ValueError):
+            DiscretePareto.paper_parameterization(1.0)
+
+    def test_mean_infinite_for_alpha_below_one(self):
+        assert math.isinf(DiscretePareto(alpha=0.9, beta=5.0).mean())
+
+    def test_second_moment_infinite_below_two(self):
+        assert math.isinf(DiscretePareto(alpha=1.9, beta=5.0).moment(2))
+        assert math.isfinite(DiscretePareto(alpha=2.1, beta=5.0).moment(2))
+
+    def test_quantile_is_cdf_inverse(self):
+        dist = DiscretePareto(alpha=1.5, beta=15.0)
+        for u in [0.01, 0.3, 0.77, 0.999]:
+            k = dist.quantile(u)
+            assert dist.cdf(k) >= u
+            assert dist.cdf(k - 1) < u
+
+    def test_quantile_vectorized(self):
+        dist = DiscretePareto(alpha=1.5, beta=15.0)
+        us = np.array([0.1, 0.5, 0.9])
+        ks = dist.quantile(us)
+        assert ks.shape == (3,)
+        assert np.all(ks >= 1)
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DiscretePareto(1.5, 15.0).quantile(1.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DiscretePareto(alpha=0, beta=1)
+        with pytest.raises(ValueError):
+            DiscretePareto(alpha=1, beta=-1)
+
+    @given(st.floats(min_value=1.1, max_value=4.0),
+           st.floats(min_value=0.5, max_value=50.0),
+           st.floats(min_value=1e-6, max_value=1.0 - 1e-9))
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_inverse_property(self, alpha, beta, u):
+        dist = DiscretePareto(alpha, beta)
+        k = dist.quantile(u)
+        assert k >= 1
+        assert dist.cdf(k) >= u - 1e-12
+        if k > 1:
+            assert dist.cdf(k - 1) < u + 1e-12
+
+
+class TestContinuousPareto:
+    def test_cdf_pdf_consistency(self):
+        cont = ContinuousPareto(alpha=1.5, beta=15.0)
+        xs = np.linspace(0.01, 50.0, 400)
+        numeric = np.trapezoid(cont.pdf(xs), xs)
+        assert numeric == pytest.approx(
+            float(cont.cdf(50.0) - cont.cdf(0.01)), abs=1e-4)
+
+    def test_quantile_roundtrip(self):
+        cont = ContinuousPareto(alpha=1.5, beta=15.0)
+        for u in [0.1, 0.5, 0.99]:
+            assert cont.cdf(cont.quantile(u)) == pytest.approx(u)
+
+    def test_mean_closed_form(self):
+        assert ContinuousPareto(3.0, 10.0).mean() == pytest.approx(5.0)
+        assert math.isinf(ContinuousPareto(1.0, 10.0).mean())
+
+    def test_partial_mean_matches_numeric(self):
+        cont = ContinuousPareto(alpha=2.2, beta=12.0)
+        xs = np.linspace(0, 30, 30_001)
+        numeric = np.trapezoid(xs * cont.pdf(xs), xs)
+        assert cont.partial_mean(30.0) == pytest.approx(numeric, rel=1e-4)
+
+    def test_spread_cdf_eq19_limits(self):
+        """Eq. (19): J(0) = 0 and J(inf) = 1.
+
+        The tail vanishes like alpha (x/beta)^(1-alpha), so for
+        alpha = 1.5 reaching 1e-4 residual needs x ~ 1e9 * beta."""
+        cont = ContinuousPareto(alpha=1.5, beta=15.0)
+        assert cont.spread_cdf(0.0) == pytest.approx(0.0)
+        assert cont.spread_cdf(1e12) == pytest.approx(1.0, abs=1e-4)
+
+    def test_spread_tail_index_is_alpha_minus_one(self):
+        """The spread's tail is one degree heavier than F's."""
+        alpha, beta = 2.5, 10.0
+        cont = ContinuousPareto(alpha, beta)
+        x1, x2 = 1e4, 1e6
+        tail_ratio = (1 - cont.spread_cdf(x2)) / (1 - cont.spread_cdf(x1))
+        expected = (x2 / x1) ** (1 - alpha)
+        assert tail_ratio == pytest.approx(expected, rel=0.05)
+
+    def test_discretize_roundtrip(self):
+        disc = ContinuousPareto(1.5, 15.0).discretize()
+        assert isinstance(disc, DiscretePareto)
+        assert disc.to_continuous().alpha == 1.5
+
+
+class TestTruncation:
+    def test_truncated_cdf_normalized(self):
+        dist = DiscretePareto(1.5, 15.0).truncate(50)
+        assert dist.cdf(50) == pytest.approx(1.0)
+        assert dist.cdf(1000) == pytest.approx(1.0)
+
+    def test_truncated_pmf_zero_outside(self):
+        dist = DiscretePareto(1.5, 15.0).truncate(50)
+        assert dist.pmf(51) == 0.0
+        assert dist.pmf(0) == 0.0
+        assert float(np.sum(dist.pmf(np.arange(1, 51)))) == pytest.approx(1.0)
+
+    def test_truncation_renormalizes_mass(self):
+        base = DiscretePareto(1.5, 15.0)
+        dist = base.truncate(50)
+        assert dist.pmf(3) == pytest.approx(
+            float(base.pmf(3)) / float(base.cdf(50)))
+
+    def test_retruncation_uses_original_base(self):
+        base = DiscretePareto(1.5, 15.0)
+        twice = base.truncate(100).truncate(50)
+        once = base.truncate(50)
+        assert twice.pmf(7) == pytest.approx(float(once.pmf(7)))
+
+    def test_truncated_quantile_within_support(self):
+        dist = DiscretePareto(1.2, 6.0).truncate(30)
+        ks = dist.quantile(np.linspace(0.001, 0.999, 64))
+        assert np.all(ks >= 1)
+        assert np.all(ks <= 30)
+
+    def test_truncate_below_support_raises(self):
+        with pytest.raises(ValueError):
+            DiscretePareto(1.5, 15.0).truncate(0)
+
+    def test_linear_truncation(self):
+        assert linear_truncation(100) == 99
+        with pytest.raises(ValueError):
+            linear_truncation(1)
+
+    def test_root_truncation(self):
+        assert root_truncation(100) == 10
+        assert root_truncation(99) == 9
+        assert root_truncation(101) == 10
+        assert root_truncation(1) == 1
+
+    def test_power_truncation(self):
+        sched = power_truncation(0.5)
+        assert sched(10_000) == 100
+        assert power_truncation(1.0)(100) == 99  # capped at n-1
+        with pytest.raises(ValueError):
+            power_truncation(0.0)
+
+    @given(st.integers(min_value=4, max_value=10**9))
+    @settings(max_examples=100, deadline=None)
+    def test_root_truncation_is_integer_sqrt(self, n):
+        t = root_truncation(n)
+        assert t * t <= n < (t + 1) * (t + 1)
+
+
+class TestOtherLaws:
+    def test_geometric_cdf_and_mean(self):
+        dist = GeometricDegree(p=0.25)
+        assert dist.cdf(1) == pytest.approx(0.25)
+        assert dist.mean() == pytest.approx(4.0)
+        assert dist.pmf(3) == pytest.approx(0.75**2 * 0.25)
+
+    def test_geometric_quantile(self):
+        dist = GeometricDegree(p=0.3)
+        for u in [0.05, 0.5, 0.95]:
+            k = dist.quantile(u)
+            assert dist.cdf(k) >= u
+            assert dist.cdf(k - 1) < u
+
+    def test_geometric_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            GeometricDegree(p=0.0)
+        with pytest.raises(ValueError):
+            GeometricDegree(p=1.0)
+
+    def test_zipf_pmf_normalized(self):
+        dist = ZipfDegree(s=2.5)
+        ks = np.arange(1, 100_000, dtype=float)
+        assert float(np.sum(dist.pmf(ks))) == pytest.approx(1.0, abs=1e-3)
+
+    def test_zipf_mean_closed_form(self):
+        from scipy.special import zeta
+        dist = ZipfDegree(s=3.0)
+        assert dist.mean() == pytest.approx(zeta(2.0) / zeta(3.0))
+        assert math.isinf(ZipfDegree(s=2.0).mean())
+
+    def test_zipf_rejects_s_below_one(self):
+        with pytest.raises(ValueError):
+            ZipfDegree(s=1.0)
+
+    def test_empirical_reconstruction(self):
+        observed = np.array([1, 1, 2, 3, 3, 3, 7])
+        dist = EmpiricalDegreeDistribution(observed)
+        assert dist.pmf(3) == pytest.approx(3 / 7)
+        assert dist.cdf(2) == pytest.approx(3 / 7)
+        assert dist.support_max == 7.0
+        assert dist.pmf(4) == 0.0
+
+    def test_empirical_quantile(self):
+        dist = EmpiricalDegreeDistribution([1, 2, 2, 5])
+        assert dist.quantile(0.1) == 1
+        assert dist.quantile(0.5) == 2
+        assert dist.quantile(0.99) == 5
+
+    def test_empirical_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            EmpiricalDegreeDistribution([])
+        with pytest.raises(ValueError):
+            EmpiricalDegreeDistribution([0, 1])
+
+
+class TestSampling:
+    def test_sequence_shape_and_range(self, rng):
+        dist = DiscretePareto(1.5, 15.0).truncate(50)
+        degrees = sample_degree_sequence(dist, 500, rng)
+        assert degrees.shape == (500,)
+        assert degrees.min() >= 1
+        assert degrees.max() <= 50
+
+    def test_even_sum_enforced(self, rng):
+        dist = DiscretePareto(1.5, 15.0).truncate(50)
+        for __ in range(20):
+            degrees = sample_degree_sequence(dist, 101, rng)
+            assert degrees.sum() % 2 == 0
+
+    def test_raw_draw_keeps_parity(self, rng):
+        dist = DiscretePareto(1.5, 15.0).truncate(50)
+        sums = {sample_degree_sequence(dist, 101, rng,
+                                       ensure_even_sum=False).sum() % 2
+                for __ in range(50)}
+        assert sums == {0, 1}  # both parities occur in the raw draw
+
+    def test_empirical_mean_matches_distribution(self, rng):
+        dist = DiscretePareto(2.5, 45.0).truncate(1000)
+        degrees = sample_degree_sequence(dist, 200_000, rng)
+        ks = np.arange(1, 1001, dtype=float)
+        expected = float(np.sum(ks * dist.pmf(ks)))
+        assert degrees.mean() == pytest.approx(expected, rel=0.02)
+
+    def test_empirical_cdf_matches(self, rng):
+        """Kolmogorov-style check of the inverse-CDF sampler."""
+        dist = DiscretePareto(1.7, 21.0).truncate(200)
+        degrees = sample_degree_sequence(dist, 100_000, rng,
+                                         ensure_even_sum=False)
+        for x in [1, 3, 10, 50]:
+            empirical = np.mean(degrees <= x)
+            assert empirical == pytest.approx(float(dist.cdf(x)), abs=0.01)
+
+    def test_invalid_n(self, rng):
+        with pytest.raises(ValueError):
+            sample_degree_sequence(DiscretePareto(1.5, 15.0), 0, rng)

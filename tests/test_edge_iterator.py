@@ -1,0 +1,125 @@
+"""Tests for scanning edge iterators E1-E6 (section 2.3, Table 1)."""
+
+import pytest
+
+from repro import DescendingDegree, OrientedGraph, orient
+from repro.core.costs import cost_t1, cost_t2, cost_t3
+from repro.listing import run_edge_iterator, run_vertex_iterator
+from repro.listing.base import intersect_sorted
+
+SEI_METHODS = ("E1", "E2", "E3", "E4", "E5", "E6")
+
+#: Table 1: (local, remote) cost components per method.
+TABLE_1 = {
+    "E1": ("T1", "T2"),
+    "E2": ("T2", "T1"),
+    "E3": ("T3", "T2"),
+    "E4": ("T1", "T3"),
+    "E5": ("T2", "T3"),
+    "E6": ("T3", "T1"),
+}
+
+
+def _base_cost(name, oriented):
+    if name == "T1":
+        return cost_t1(oriented.out_degrees)
+    if name == "T2":
+        return cost_t2(oriented.out_degrees, oriented.in_degrees)
+    return cost_t3(oriented.in_degrees)
+
+
+class TestIntersectSorted:
+    def test_basic(self):
+        matches, comps = intersect_sorted([1, 3, 5, 7], [3, 4, 5])
+        assert matches == [3, 5]
+        assert comps <= 7
+
+    def test_empty(self):
+        assert intersect_sorted([], [1, 2]) == ([], 0)
+        assert intersect_sorted([1], []) == ([], 0)
+
+    def test_disjoint(self):
+        matches, comps = intersect_sorted([1, 2], [5, 6])
+        assert matches == []
+        assert comps == 2  # exhausts the left list after two advances
+
+    def test_identical(self):
+        matches, __ = intersect_sorted([2, 4, 6], [2, 4, 6])
+        assert matches == [2, 4, 6]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("method", SEI_METHODS)
+    def test_single_triangle(self, triangle_graph, method):
+        oriented = OrientedGraph(triangle_graph, [0, 1, 2])
+        result = run_edge_iterator(oriented, method)
+        assert result.count == 1
+        assert result.triangles == [(0, 1, 2)]
+
+    @pytest.mark.parametrize("method", SEI_METHODS)
+    def test_k4(self, k4_graph, method):
+        oriented = OrientedGraph(k4_graph, [0, 1, 2, 3])
+        result = run_edge_iterator(oriented, method)
+        assert result.count == 4
+
+    @pytest.mark.parametrize("method", SEI_METHODS)
+    def test_bowtie(self, bowtie_graph, method):
+        oriented = orient(bowtie_graph, DescendingDegree())
+        result = run_edge_iterator(oriented, method)
+        assert result.count == 2
+
+    @pytest.mark.parametrize("method", SEI_METHODS)
+    def test_no_triangles(self, path_graph, method):
+        oriented = orient(path_graph, DescendingDegree())
+        assert run_edge_iterator(oriented, method).count == 0
+
+    def test_unknown_method(self, triangle_graph):
+        oriented = OrientedGraph(triangle_graph, [0, 1, 2])
+        with pytest.raises(ValueError):
+            run_edge_iterator(oriented, "E7")
+
+
+class TestTable1Costs:
+    @pytest.mark.parametrize("method", SEI_METHODS)
+    def test_ops_decompose_per_table_1(self, pareto_graph, method):
+        """Each SEI's ops equal the sum of its two base costs exactly."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        result = run_edge_iterator(oriented, method)
+        local, remote = TABLE_1[method]
+        expected = _base_cost(local, oriented) + _base_cost(remote, oriented)
+        assert result.ops == int(expected)
+
+    def test_proposition_2(self, pareto_graph):
+        """Prop. 2: c_n(E1) = c_n(T1) + c_n(T2)."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        e1 = run_edge_iterator(oriented, "E1")
+        t1 = run_vertex_iterator(oriented, "T1")
+        t2 = run_vertex_iterator(oriented, "T2")
+        assert e1.ops == t1.ops + t2.ops
+
+    @pytest.mark.parametrize("method", SEI_METHODS)
+    def test_comparisons_bounded_by_ops(self, pareto_graph, method):
+        """A real merge may exit early, never late."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        result = run_edge_iterator(oriented, method)
+        assert 0 <= result.comparisons <= result.ops
+
+    def test_e1_e3_same_cost_under_reversal(self, pareto_graph):
+        """Figure 4: E1 and E3 are one equivalence class."""
+        from repro import AscendingDegree, reverse_permutation
+        perm = AscendingDegree()
+        oriented = orient(pareto_graph, perm)
+        rev_oriented = orient(pareto_graph, reverse_permutation(perm))
+        assert (run_edge_iterator(oriented, "E1").ops
+                == run_edge_iterator(rev_oriented, "E3").ops)
+
+    def test_e4_e6_same_cost_any_orientation(self, pareto_graph):
+        """E4 and E6 swap local/remote of the same components."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        assert (run_edge_iterator(oriented, "E4").ops
+                == run_edge_iterator(oriented, "E6").ops)
+
+    def test_e1_e2_same_cost_any_orientation(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        assert (run_edge_iterator(oriented, "E1").ops
+                == run_edge_iterator(oriented, "E2").ops)

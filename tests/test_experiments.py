@@ -1,0 +1,162 @@
+"""Tests for the simulation harness, table rendering, and case studies."""
+
+import numpy as np
+import pytest
+
+from repro import DescendingDegree, DiscretePareto, RoundRobin
+from repro.distributions import linear_truncation, root_truncation
+from repro.experiments.harness import (
+    SimulationSpec,
+    model_cost,
+    simulate_cost,
+    simulated_vs_model,
+    sweep_n,
+)
+from repro.experiments.speed import measure_primitive_speeds
+from repro.experiments.tables import (
+    ComparisonRow,
+    format_comparison_table,
+    format_matrix_table,
+)
+from repro.experiments.twitter import (
+    PERMUTATION_ORDER,
+    analyze_cost_matrix,
+    cost_matrix,
+    twitter_like_graph,
+)
+
+
+def _spec(method="T1", perm=None, map_name="descending",
+          truncation=root_truncation, alpha=1.5):
+    return SimulationSpec(
+        base_dist=DiscretePareto.paper_parameterization(alpha),
+        truncation=truncation,
+        method=method,
+        permutation=perm or DescendingDegree(),
+        limit_map=map_name,
+        n_sequences=2,
+        n_graphs=2,
+    )
+
+
+class TestHarness:
+    def test_simulation_close_to_model_amrc(self, rng):
+        """Root truncation (AMRC): model within a few percent at n=3000.
+
+        Mirrors Table 6's accuracy claim at reduced scale."""
+        spec = _spec()
+        sim, model, error = simulated_vs_model(spec, 3000, rng)
+        assert sim > 0 and model > 0
+        assert abs(error) < 0.15
+
+    def test_t2_rr_cell(self, rng):
+        """A Table 7 cell: T2 + RR at alpha = 1.7."""
+        spec = _spec(method="T2", perm=RoundRobin(), map_name="rr",
+                     alpha=1.7)
+        sim, model, error = simulated_vs_model(spec, 2000, rng)
+        assert abs(error) < 0.25
+
+    def test_sweep_shapes(self, rng):
+        rows = sweep_n(_spec(), [500, 1000], rng)
+        assert [r["n"] for r in rows] == [500, 1000]
+        assert all({"sim", "model", "error"} <= set(r) for r in rows)
+
+    def test_error_shrinks_with_n_for_amrc(self, rng):
+        """Table 6's qualitative trend at small scale (noisy: use a
+        generous margin)."""
+        spec = _spec()
+        rows = sweep_n(spec, [300, 3000], rng)
+        assert abs(rows[1]["error"]) < abs(rows[0]["error"]) + 0.05
+
+    def test_model_cost_matches_direct_call(self):
+        from repro import discrete_cost_model
+        spec = _spec()
+        n = 1000
+        direct = discrete_cost_model(
+            spec.base_dist.truncate(root_truncation(n)), "T1",
+            "descending")
+        assert model_cost(spec, n) == pytest.approx(direct)
+
+    def test_configuration_generator_undershoots(self, rng):
+        """The stub-matching deficit lowers simulated cost vs. residual
+        (section 7.2's motivation) under linear truncation."""
+        base = dict(method="T1", truncation=linear_truncation, alpha=1.5)
+        res = _spec(**base)
+        cfg = _spec(**base)
+        cfg.generator = "configuration"
+        n = 2000
+        assert simulate_cost(cfg, n, rng) < simulate_cost(res, n, rng)
+
+
+class TestTables:
+    def test_comparison_table_contains_values(self):
+        rows = [ComparisonRow(1000, [(40.2, 39.3, -0.022)]),
+                ComparisonRow("inf", [None])]
+        text = format_comparison_table("Table 6", ["T1+D"], rows)
+        assert "Table 6" in text
+        assert "40.2" in text
+        assert "-2.2%" in text
+        assert "--" in text
+
+    def test_matrix_table_highlights_min(self):
+        text = format_matrix_table("Table 12", ["T1"], ["a", "b"],
+                                   [[150e9, 123e12]])
+        assert "*150B*" in text
+        assert "123T" in text
+
+    def test_matrix_table_handles_inf(self):
+        text = format_matrix_table("x", ["T1"], ["a"], [[float("inf")]])
+        assert "inf" in text
+
+
+class TestTwitterStudy:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        graph = twitter_like_graph(n=4000, alpha=1.7)
+        return cost_matrix(graph)
+
+    def test_optimal_permutations_match_paper(self, matrix):
+        """Table 12's gray cells: theta_D for T1/E1, RR for T2, CRR for
+        E4."""
+        report = analyze_cost_matrix(matrix)
+        per = report["per_method"]
+        assert per["T1"]["best"] == "descending"
+        assert per["E1"]["best"] == "descending"
+        assert per["T2"]["best"] == "rr"
+        assert per["E4"]["best"] == "crr"
+
+    def test_e1_desc_is_double_t2_rr(self, matrix):
+        """Paper: 'the cost of E1 under theta_D is double that of T2
+        under theta_RR'."""
+        report = analyze_cost_matrix(matrix)
+        assert report["e1_desc_over_t2_rr"] == pytest.approx(2.0, abs=0.1)
+
+    def test_t2_symmetric_in_monotone_perms(self, matrix):
+        methods = ["T1", "T2", "E1", "E4"]
+        perms = list(PERMUTATION_ORDER)
+        t2 = matrix[methods.index("T2")]
+        assert t2[perms.index("descending")] == pytest.approx(
+            t2[perms.index("ascending")], rel=1e-9)
+
+    def test_e4_flat_across_permutations(self, matrix):
+        """Paper: E4 is 'almost equally expensive under all
+        permutations' (worst/best ratio ~2 on Twitter)."""
+        report = analyze_cost_matrix(matrix)
+        assert report["per_method"]["E4"]["worst_over_best"] < 3.0
+
+    def test_degenerate_near_optimal_for_t1(self, matrix):
+        methods = ["T1", "T2", "E1", "E4"]
+        perms = list(PERMUTATION_ORDER)
+        t1 = matrix[methods.index("T1")]
+        degen = t1[perms.index("degenerate")]
+        desc = t1[perms.index("descending")]
+        assert 0.7 < degen / desc < 1.3
+
+
+class TestSpeed:
+    def test_measurement_sanity(self):
+        result = measure_primitive_speeds(list_size=20_000, repeats=2)
+        assert result["hash_nodes_per_sec"] > 0
+        assert result["scan_numpy_nodes_per_sec"] > 0
+        assert result["speed_ratio_numpy_scan_over_hash"] > 0
+        assert result["paper_speed_ratio"] == pytest.approx(1801 / 19)

@@ -1,0 +1,101 @@
+"""Tests for the external-memory substrate (partitioning + OOC E1)."""
+
+import numpy as np
+import pytest
+
+from repro import DescendingDegree, list_triangles, orient
+from repro.external import LabelRangePartitioner, external_e1
+
+
+class TestPartitioner:
+    def test_boundaries_cover_everything(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        part = LabelRangePartitioner(oriented, 4)
+        assert part.boundaries[0] == 0
+        assert part.boundaries[-1] == oriented.n
+        assert np.all(np.diff(part.boundaries) > 0)
+
+    def test_partition_of(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        part = LabelRangePartitioner(oriented, 4)
+        for label in range(0, oriented.n, 37):
+            idx = part.partition_of(label)
+            assert part.boundaries[idx] <= label < part.boundaries[idx + 1]
+        with pytest.raises(IndexError):
+            part.partition_of(oriented.n)
+
+    def test_edge_balance(self, pareto_graph):
+        """Ranges hold comparable out-edge mass, not node counts."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        part = LabelRangePartitioner(oriented, 4)
+        masses = [part.load(i).num_edges
+                  for i in range(part.num_partitions)]
+        assert sum(masses) == oriented.m
+        assert max(masses) <= 2.5 * (oriented.m / len(masses)) + \
+            oriented.out_degrees.max()
+
+    def test_out_lists_match(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        part = LabelRangePartitioner(oriented, 3)
+        block = part.load(1)
+        for label in range(block.lo, min(block.hi, block.lo + 20)):
+            np.testing.assert_array_equal(
+                block.out_neighbors(label),
+                oriented.out_neighbors(label))
+        with pytest.raises(IndexError):
+            block.out_neighbors(block.hi)
+
+    def test_load_cache_and_evict(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        part = LabelRangePartitioner(oriented, 2)
+        first = part.load(0)
+        assert part.load(0) is first  # cached
+        part.evict(0)
+        assert part.load(0) is not first
+
+    def test_validation(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        with pytest.raises(ValueError):
+            LabelRangePartitioner(oriented, 0)
+        with pytest.raises(ValueError):
+            LabelRangePartitioner(oriented, oriented.n + 1)
+        part = LabelRangePartitioner(oriented, 2)
+        with pytest.raises(IndexError):
+            part.load(99)
+
+
+class TestExternalE1:
+    @pytest.mark.parametrize("k", [1, 2, 3, 7])
+    def test_matches_in_memory_e1(self, pareto_graph, k):
+        oriented = orient(pareto_graph, DescendingDegree())
+        reference = list_triangles(oriented, "E1")
+        result, io = external_e1(oriented, k)
+        assert result.count == reference.count
+        assert result.triangle_set() == reference.triangle_set()
+        assert result.ops == reference.ops
+
+    def test_io_grows_with_k(self, pareto_graph):
+        """More partitions => more re-loads: the O(k m) I/O law."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        __, io2 = external_e1(oriented, 2, collect=False)
+        __, io6 = external_e1(oriented, 6, collect=False)
+        assert io6.bytes_read > io2.bytes_read
+
+    def test_k1_loads_once(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        __, io = external_e1(oriented, 1, collect=False)
+        assert io.loads == 1
+
+    def test_load_pattern_triangular(self, pareto_graph):
+        """Candidate c is loaded once per source s >= c."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        result, io = external_e1(oriented, 4, collect=False)
+        k = len(io.per_partition_loads)
+        total_expected = k * (k + 1) // 2
+        assert io.loads == total_expected
+
+    def test_collect_false(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        result, __ = external_e1(oriented, 3, collect=False)
+        assert result.triangles is None
+        assert result.count == list_triangles(oriented, "E1").count

@@ -1,0 +1,111 @@
+"""Tests for the Poisson and lognormal degree laws + sparse counter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import generate_graph, sample_degree_sequence
+from repro.distributions import LogNormalDegree, PoissonDegree
+from repro.graphs.analysis import triangle_count, triangle_count_sparse
+
+
+class TestPoissonDegree:
+    def test_pmf_normalized(self):
+        dist = PoissonDegree(5.0)
+        ks = np.arange(1, 100, dtype=float)
+        assert float(np.sum(dist.pmf(ks))) == pytest.approx(1.0)
+
+    def test_no_mass_at_zero(self):
+        dist = PoissonDegree(2.0)
+        assert dist.pmf(0) == 0.0
+        assert dist.cdf(0.5) == 0.0
+
+    def test_zero_truncated_mean(self):
+        lam = 3.0
+        dist = PoissonDegree(lam)
+        assert dist.mean() == pytest.approx(lam / (1 - math.exp(-lam)))
+
+    def test_second_moment_closed_form(self):
+        dist = PoissonDegree(4.0)
+        ks = np.arange(1, 200, dtype=float)
+        brute = float(np.sum(ks * ks * dist.pmf(ks)))
+        assert dist.moment(2) == pytest.approx(brute, rel=1e-9)
+
+    def test_quantile_inverse(self):
+        dist = PoissonDegree(7.0)
+        for u in (0.1, 0.5, 0.95):
+            k = dist.quantile(u)
+            assert dist.cdf(k) >= u
+            assert dist.cdf(k - 1) < u
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PoissonDegree(0.0)
+
+    def test_full_pipeline(self, rng):
+        dist = PoissonDegree(8.0).truncate(40)
+        degrees = sample_degree_sequence(dist, 400, rng)
+        graph = generate_graph(degrees, rng)
+        np.testing.assert_array_equal(graph.degrees, degrees)
+
+
+class TestLogNormalDegree:
+    def test_cdf_sf_complementary(self):
+        dist = LogNormalDegree(2.0, 1.0)
+        xs = np.array([1.0, 3.0, 10.0, 100.0])
+        np.testing.assert_allclose(dist.cdf(xs) + dist.sf(xs), 1.0)
+
+    def test_quantile_inverse(self):
+        dist = LogNormalDegree(1.5, 0.8)
+        for u in (0.05, 0.5, 0.99):
+            k = dist.quantile(u)
+            assert dist.cdf(k) >= u - 1e-12
+            if k > 1:
+                assert dist.cdf(k - 1) < u + 1e-12
+
+    def test_all_moments_finite(self):
+        dist = LogNormalDegree(1.0, 0.7)
+        assert math.isfinite(dist.moment(2))
+        assert math.isfinite(dist.moment(4))
+
+    def test_model_runs_and_orientations_rank(self):
+        """Lognormal through the whole analytical stack: descending
+        still optimal for T1 (its g/w ratio is increasing for any
+        law)."""
+        from repro import discrete_cost_model
+        dist = LogNormalDegree(2.0, 1.0).truncate(500)
+        desc = discrete_cost_model(dist, "T1", "descending")
+        asc = discrete_cost_model(dist, "T1", "ascending")
+        assert desc < asc
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            LogNormalDegree(1.0, 0.0)
+
+
+class TestSparseCounter:
+    def test_matches_lister(self, pareto_graph):
+        assert triangle_count_sparse(pareto_graph) \
+            == triangle_count(pareto_graph)
+
+    def test_known_graphs(self, k4_graph, bowtie_graph, path_graph):
+        assert triangle_count_sparse(k4_graph) == 4
+        assert triangle_count_sparse(bowtie_graph) == 2
+        assert triangle_count_sparse(path_graph) == 0
+
+    def test_empty(self):
+        from repro import Graph
+        assert triangle_count_sparse(Graph(5, [])) == 0
+
+    def test_larger_random_graph(self, rng):
+        from repro import DiscretePareto
+        dist = DiscretePareto(1.8, 24.0).truncate(44)
+        degrees = sample_degree_sequence(dist, 2000, rng)
+        graph = generate_graph(degrees, rng)
+        assert triangle_count_sparse(graph) == triangle_count(graph)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(66)

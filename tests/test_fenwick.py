@@ -1,0 +1,107 @@
+"""Unit and property tests for the Fenwick tree sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import FenwickTree
+
+
+class TestFenwickBasics:
+    def test_construction_prefix_sums(self):
+        weights = [3.0, 0.0, 2.0, 5.0, 1.0]
+        tree = FenwickTree(weights)
+        cum = np.cumsum(weights)
+        for i in range(5):
+            assert tree.prefix_sum(i) == pytest.approx(cum[i])
+        assert tree.prefix_sum(-1) == 0.0
+        assert tree.total == pytest.approx(11.0)
+
+    def test_get_roundtrip(self):
+        weights = [1.0, 4.0, 0.0, 2.5]
+        tree = FenwickTree(weights)
+        for i, w in enumerate(weights):
+            assert tree.get(i) == pytest.approx(w)
+
+    def test_add_updates_sums(self):
+        tree = FenwickTree([1.0, 1.0, 1.0])
+        tree.add(1, 5.0)
+        assert tree.get(1) == pytest.approx(6.0)
+        assert tree.prefix_sum(2) == pytest.approx(8.0)
+        assert tree.total == pytest.approx(8.0)
+
+    def test_add_out_of_range(self):
+        tree = FenwickTree([1.0])
+        with pytest.raises(IndexError):
+            tree.add(1, 1.0)
+        with pytest.raises(IndexError):
+            tree.add(-1, 1.0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree([1.0, -0.5])
+
+    def test_sample_boundaries(self):
+        tree = FenwickTree([2.0, 3.0])
+        assert tree.sample(0.0) == 0
+        assert tree.sample(1.999) == 0
+        assert tree.sample(2.0) == 1
+        assert tree.sample(4.999) == 1
+        with pytest.raises(ValueError):
+            tree.sample(5.0)
+        with pytest.raises(ValueError):
+            tree.sample(-0.1)
+
+    def test_sample_skips_zero_weights(self):
+        tree = FenwickTree([0.0, 0.0, 1.0, 0.0])
+        for target in [0.0, 0.5, 0.999]:
+            assert tree.sample(target) == 2
+
+    def test_sample_distribution(self):
+        rng = np.random.default_rng(0)
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        tree = FenwickTree(weights)
+        draws = np.array([tree.sample(rng.random() * tree.total)
+                          for __ in range(20_000)])
+        freq = np.bincount(draws, minlength=4) / draws.size
+        np.testing.assert_allclose(freq, weights / weights.sum(), atol=0.02)
+
+    def test_to_array(self):
+        weights = [0.5, 0.0, 3.0]
+        np.testing.assert_allclose(FenwickTree(weights).to_array(), weights)
+
+    def test_len(self):
+        assert len(FenwickTree([1, 2, 3])) == 3
+
+
+class TestFenwickProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=60),
+           st.lists(st.tuples(st.integers(min_value=0, max_value=59),
+                              st.floats(min_value=0.0, max_value=50.0)),
+                    max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_naive_prefix_sums(self, weights, updates):
+        arr = np.asarray(weights, dtype=float)
+        tree = FenwickTree(arr)
+        for idx, delta in updates:
+            if idx >= arr.size:
+                continue
+            tree.add(idx, delta)
+            arr[idx] += delta
+        cum = np.cumsum(arr)
+        for i in range(arr.size):
+            assert tree.prefix_sum(i) == pytest.approx(cum[i], abs=1e-6)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0.0, max_value=1.0 - 1e-9))
+    @settings(max_examples=80, deadline=None)
+    def test_sample_invariant(self, weights, frac):
+        """sample(t) returns the first index with prefix_sum > t."""
+        tree = FenwickTree(weights)
+        target = frac * tree.total
+        idx = tree.sample(target)
+        assert tree.prefix_sum(idx) > target
+        assert tree.prefix_sum(idx - 1) <= target + 1e-9
+        assert tree.get(idx) > 0

@@ -1,0 +1,73 @@
+"""Stateful (model-based) testing of the Fenwick tree.
+
+Hypothesis drives random interleavings of updates, prefix queries, and
+proportional samples against a brute-force reference array -- the
+strongest guarantee we can give the generator's core data structure.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.graphs import FenwickTree
+
+
+class FenwickMachine(RuleBasedStateMachine):
+    """Random operation sequences vs a plain-array reference."""
+
+    @initialize(weights=st.lists(
+        st.floats(min_value=0.0, max_value=50.0),
+        min_size=1, max_size=40))
+    def setup(self, weights):
+        """Create the tree and its reference array."""
+        self.reference = np.asarray(weights, dtype=float)
+        self.tree = FenwickTree(self.reference.copy())
+
+    @rule(data=st.data(),
+          delta=st.floats(min_value=0.0, max_value=25.0))
+    def add(self, data, delta):
+        """Point update at a random index."""
+        idx = data.draw(st.integers(0, self.reference.size - 1))
+        # keep weights non-negative: clamp the downward move
+        down = data.draw(st.booleans())
+        if down:
+            delta = -min(delta, self.reference[idx])
+        self.tree.add(idx, delta)
+        self.reference[idx] += delta
+
+    @rule(data=st.data())
+    def prefix_matches(self, data):
+        """Any prefix sum equals the reference cumulative sum."""
+        idx = data.draw(st.integers(-1, self.reference.size - 1))
+        expected = float(self.reference[:idx + 1].sum())
+        assert abs(self.tree.prefix_sum(idx) - expected) < 1e-7
+
+    @rule(data=st.data())
+    def sample_is_consistent(self, data):
+        """sample(t) returns the first index with prefix sum > t."""
+        total = self.tree.total
+        if total <= 1e-9:
+            return
+        frac = data.draw(st.floats(min_value=0.0,
+                                   max_value=1.0 - 1e-9))
+        target = frac * total
+        idx = self.tree.sample(target)
+        assert self.tree.prefix_sum(idx) > target
+        assert self.tree.prefix_sum(idx - 1) <= target + 1e-7
+        assert self.reference[idx] > 0
+
+    @invariant()
+    def total_matches(self):
+        """The running total never drifts from the reference."""
+        assert abs(self.tree.total - float(self.reference.sum())) < 1e-6
+
+
+TestFenwickStateful = FenwickMachine.TestCase
+TestFenwickStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None)

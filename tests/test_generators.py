@@ -1,0 +1,154 @@
+"""Tests for the random-graph generators (section 7.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    DiscretePareto,
+    configuration_model,
+    erdos_gallai_graphical,
+    generate_graph,
+    residual_degree_model,
+    sample_degree_sequence,
+)
+
+
+class TestValidation:
+    def test_odd_sum_rejected(self, rng):
+        with pytest.raises(ValueError, match="even"):
+            residual_degree_model([1, 1, 1], rng)
+        with pytest.raises(ValueError, match="even"):
+            configuration_model([1, 1, 1], rng)
+
+    def test_degree_too_large_rejected(self, rng):
+        with pytest.raises(ValueError, match="impossible"):
+            residual_degree_model([4, 2, 1, 1], rng)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            residual_degree_model([], rng)
+
+    def test_unknown_generator_name(self, rng):
+        with pytest.raises(ValueError, match="unknown generator"):
+            generate_graph([1, 1], rng, method="magic")
+
+
+class TestResidualDegreeModel:
+    def test_exact_realization_small(self, rng):
+        degrees = np.array([3, 3, 2, 2, 2])
+        graph = residual_degree_model(degrees, rng)
+        np.testing.assert_array_equal(graph.degrees, degrees)
+
+    def test_exact_realization_heavy_tail(self, rng):
+        """The paper's central claim: D_n is realized exactly."""
+        dist = DiscretePareto(1.5, 15.0).truncate(31)  # root truncation
+        degrees = sample_degree_sequence(dist, 1000, rng)
+        graph = residual_degree_model(degrees, rng)
+        np.testing.assert_array_equal(graph.degrees, degrees)
+
+    def test_exact_realization_linear_truncation(self, rng):
+        """Harder case: unconstrained degrees up to n - 1."""
+        dist = DiscretePareto(1.5, 15.0).truncate(499)
+        degrees = sample_degree_sequence(dist, 500, rng)
+        graph = residual_degree_model(degrees, rng)
+        np.testing.assert_array_equal(graph.degrees, degrees)
+
+    def test_simple_graph_output(self, rng):
+        dist = DiscretePareto(1.2, 6.0).truncate(199)
+        degrees = sample_degree_sequence(dist, 200, rng)
+        graph = residual_degree_model(degrees, rng)
+        # Graph's constructor rejects loops/duplicates, so reaching here
+        # means simplicity; double-check the edge count anyway
+        assert 2 * graph.m == int(degrees.sum())
+
+    def test_star_plus_matching(self, rng):
+        """A hub adjacent to everyone: the stuck-repair stress case."""
+        n = 12
+        degrees = np.array([n - 1] + [3] * (n - 1))
+        if degrees.sum() % 2:
+            degrees[-1] -= 1
+        assert erdos_gallai_graphical(degrees)
+        graph = residual_degree_model(degrees, rng)
+        np.testing.assert_array_equal(graph.degrees, degrees)
+
+    def test_near_complete(self, rng):
+        n = 8
+        degrees = np.full(n, n - 2)
+        graph = residual_degree_model(degrees, rng)
+        np.testing.assert_array_equal(graph.degrees, degrees)
+
+    def test_regular_graphs(self, rng):
+        for d in [2, 4, 6]:
+            degrees = np.full(20, d)
+            graph = residual_degree_model(degrees, rng)
+            np.testing.assert_array_equal(graph.degrees, degrees)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_realization_property(self, seed):
+        """Any sampled Pareto sequence is realized exactly."""
+        rng = np.random.default_rng(seed)
+        dist = DiscretePareto(1.7, 21.0).truncate(17)  # sqrt(300)
+        degrees = sample_degree_sequence(dist, 300, rng)
+        graph = residual_degree_model(degrees, rng)
+        np.testing.assert_array_equal(graph.degrees, degrees)
+
+
+class TestConfigurationModel:
+    def test_degrees_never_exceed_request(self, rng):
+        dist = DiscretePareto(1.5, 15.0).truncate(99)
+        degrees = sample_degree_sequence(dist, 100, rng)
+        graph = configuration_model(degrees, rng)
+        assert np.all(graph.degrees <= degrees)
+
+    def test_deficit_grows_with_heavy_tail(self, rng):
+        """Section 7.2: simplification bites hard for alpha < 2 under
+        linear truncation, and much less under root truncation."""
+        dist_linear = DiscretePareto(1.5, 15.0).truncate(999)
+        dist_root = DiscretePareto(1.5, 15.0).truncate(31)
+        deficits = {}
+        for name, dist in [("linear", dist_linear), ("root", dist_root)]:
+            losses = []
+            for __ in range(5):
+                degrees = sample_degree_sequence(dist, 1000, rng)
+                graph = configuration_model(degrees, rng)
+                losses.append(1.0 - graph.degrees.sum() / degrees.sum())
+            deficits[name] = np.mean(losses)
+        assert deficits["linear"] > deficits["root"]
+        assert deficits["linear"] > 0.01
+
+    def test_multigraph_not_supported(self, rng):
+        with pytest.raises(ValueError, match="simple"):
+            configuration_model([2, 2, 2], rng, simplify=False)
+
+
+class TestDispatcher:
+    def test_residual_default(self, rng):
+        degrees = np.array([2, 2, 2, 2])
+        graph = generate_graph(degrees, rng)
+        np.testing.assert_array_equal(graph.degrees, degrees)
+
+    def test_configuration_via_name(self, rng):
+        degrees = np.array([2, 2, 2, 2])
+        graph = generate_graph(degrees, rng, method="configuration")
+        assert np.all(graph.degrees <= degrees)
+
+
+class TestEdgeProbabilityModel:
+    def test_edge_probability_matches_eq10(self, rng):
+        """Eq. (10): P(edge i~j) ~ d_i d_j / (2m) in AMRC graphs.
+
+        Checked on the highest-degree pair over many generated graphs.
+        """
+        dist = DiscretePareto(2.5, 45.0).truncate(17)
+        degrees = sample_degree_sequence(dist, 300, rng)
+        order = np.argsort(degrees)
+        i, j = int(order[-1]), int(order[-2])
+        expected = degrees[i] * degrees[j] / degrees.sum()
+        trials, hits = 400, 0
+        for __ in range(trials):
+            graph = residual_degree_model(degrees, rng)
+            hits += graph.has_edge(i, j)
+        observed = hits / trials
+        assert observed == pytest.approx(expected, abs=0.12)

@@ -1,0 +1,80 @@
+"""Golden-value regression tests: the paper's published numbers.
+
+These pin the exact numbers the library is calibrated against. A change
+that breaks any of them is either a bug or an intentional semantic
+change that must update this file and EXPERIMENTS.md together.
+"""
+
+import pytest
+
+from repro import (
+    DiscretePareto,
+    discrete_cost_model,
+    fast_cost_model,
+    pareto_spread_cdf,
+)
+from repro.core.limits import limit_cost
+from repro.distributions import ContinuousPareto, linear_truncation
+
+
+class TestTable5Anchors:
+    """The exact-model column of Table 5, to the published decimals."""
+
+    @pytest.mark.parametrize("n,expected", [
+        (10**3, 142.85), (10**4, 241.15), (10**7, 346.92),
+    ])
+    def test_exact_model(self, n, expected):
+        dist = DiscretePareto(1.5, 15.0).truncate(linear_truncation(n))
+        assert discrete_cost_model(dist, "T1", "descending") \
+            == pytest.approx(expected, abs=0.005)
+
+    @pytest.mark.parametrize("n,expected", [
+        (10**9, 354.94), (10**10, 355.79), (10**14, 356.28),
+    ])
+    def test_algorithm2_large_n(self, n, expected):
+        dist = DiscretePareto(1.5, 15.0).truncate(n - 1)
+        assert fast_cost_model(dist, "T1", "descending", eps=1e-5) \
+            == pytest.approx(expected, abs=0.01)
+
+
+class TestLimitAnchors:
+    """The infinity rows of Tables 6-8."""
+
+    @pytest.mark.parametrize("alpha,beta,method,map_name,expected", [
+        (1.5, 15.0, "T1", "descending", 356.3),
+        (1.7, 21.0, "T2", "descending", 1307.6),
+        (1.7, 21.0, "T2", "rr", 770.4),
+        (2.1, 33.0, "T1", "descending", 181.5),
+        (2.1, 33.0, "T2", "rr", 384.3),
+    ])
+    def test_limits(self, alpha, beta, method, map_name, expected):
+        dist = DiscretePareto(alpha, beta)
+        value = limit_cost(dist, method, map_name, eps=1e-4,
+                           t_start=1e8, t_max=1e14)
+        assert value == pytest.approx(expected, rel=2e-3)
+
+
+class TestSpreadAnchor:
+    def test_eq19_specific_value(self):
+        """J(beta) for Pareto: 1 - (1 + alpha) 2^-alpha, a hand-derivable
+        point (x = beta)."""
+        alpha, beta = 1.5, 15.0
+        expected = 1.0 - (1.0 + alpha) * 2.0**-alpha
+        assert pareto_spread_cdf(alpha, beta, beta) \
+            == pytest.approx(expected)
+
+    def test_paper_mean_degree(self):
+        """beta = 30 (alpha - 1) gives E[D] ~= 30.5 (section 7.3)."""
+        assert DiscretePareto.paper_parameterization(1.5).mean() \
+            == pytest.approx(30.5, abs=0.2)
+
+
+class TestContinuousAnchor:
+    @pytest.mark.parametrize("n,expected", [
+        (10**4, 245.29), (10**7, 353.92),
+    ])
+    def test_eq49_column(self, n, expected):
+        from repro import continuous_cost_model
+        cont = ContinuousPareto(1.5, 15.0)
+        assert continuous_cost_model(cont, n - 1, "T1", "descending") \
+            == pytest.approx(expected, abs=0.02)

@@ -1,0 +1,135 @@
+"""Tests for graph I/O and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.cli import main
+from repro.graphs.io import (
+    load_degree_sequence,
+    load_edge_list,
+    save_degree_sequence,
+    save_edge_list,
+)
+
+
+class TestEdgeListIO:
+    def test_roundtrip(self, bowtie_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(bowtie_graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.n == bowtie_graph.n
+        assert loaded.m == bowtie_graph.m
+        np.testing.assert_array_equal(loaded.edges, bowtie_graph.edges)
+
+    def test_load_dedups_and_drops_loops(self, tmp_path):
+        path = tmp_path / "messy.txt"
+        path.write_text("# comment\n0 1\n1 0\n2 2\n1 2\n")
+        graph = load_edge_list(path)
+        assert graph.m == 2
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 2)
+
+    def test_load_empty(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        graph = load_edge_list(path, n=3)
+        assert graph.n == 3 and graph.m == 0
+
+    def test_bad_shape(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3\n4 5 6\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+    def test_degree_sequence_roundtrip(self, tmp_path):
+        path = tmp_path / "deg.txt"
+        save_degree_sequence([3, 1, 4, 1, 5], path)
+        np.testing.assert_array_equal(load_degree_sequence(path),
+                                      [3, 1, 4, 1, 5])
+
+
+class TestCli:
+    def test_generate_and_triangles(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        assert main(["generate", "--n", "400", "--alpha", "1.7",
+                     "--out", str(out), "--seed", "3"]) == 0
+        assert out.exists()
+        assert main(["triangles", "--graph", str(out), "--method", "E1",
+                     "--order", "descending"]) == 0
+        captured = capsys.readouterr().out
+        assert "triangles" in captured
+        assert "c_n" in captured
+
+    def test_triangles_matches_library(self, tmp_path, capsys):
+        from repro import DescendingDegree, count_triangles, orient
+        out = tmp_path / "g.txt"
+        main(["generate", "--n", "300", "--alpha", "2.1",
+              "--out", str(out), "--seed", "5"])
+        graph = load_edge_list(out)
+        expected = count_triangles(orient(graph, DescendingDegree()))
+        capsys.readouterr()
+        main(["triangles", "--graph", str(out), "--method", "T1"])
+        assert f"{expected} triangles" in capsys.readouterr().out
+
+    def test_model_command(self, capsys):
+        assert main(["model", "--alpha", "1.5", "--n", "1000",
+                     "--method", "T1", "--map", "descending"]) == 0
+        out = capsys.readouterr().out
+        assert "142.8" in out  # Table 5's n=1e3 cell (142.85)
+
+    def test_model_fast_flag(self, capsys):
+        assert main(["model", "--alpha", "1.5", "--n", "1000000000",
+                     "--method", "T1", "--map", "descending",
+                     "--eps", "1e-4"]) == 0
+        assert "Algorithm 2" in capsys.readouterr().out
+
+    def test_limit_command(self, capsys):
+        assert main(["limit", "--alpha", "2.5", "--method", "T2",
+                     "--map", "rr"]) == 0
+        assert "lim" in capsys.readouterr().out
+
+    def test_decide_in_limit(self, capsys):
+        assert main(["decide", "--alpha", "1.45"]) == 0
+        out = capsys.readouterr().out
+        assert "winner: hash" in out
+
+    def test_decide_on_graph(self, tmp_path, capsys):
+        out_file = tmp_path / "g.txt"
+        main(["generate", "--n", "300", "--alpha", "2.1",
+              "--out", str(out_file), "--seed", "5"])
+        capsys.readouterr()
+        assert main(["decide", "--graph", str(out_file)]) == 0
+        assert "winner" in capsys.readouterr().out
+
+    def test_regimes_command(self, capsys):
+        assert main(["regimes", "1.3", "1.45", "1.7", "2.5"]) == 0
+        out = capsys.readouterr().out
+        assert "1.450" in out
+
+    def test_bad_beta(self):
+        with pytest.raises(SystemExit):
+            main(["limit", "--alpha", "0.9", "--method", "T1",
+                  "--map", "descending"])
+
+    def test_predict_command(self, tmp_path, capsys):
+        out_file = tmp_path / "g.txt"
+        main(["generate", "--n", "500", "--alpha", "1.8",
+              "--out", str(out_file), "--seed", "2"])
+        capsys.readouterr()
+        assert main(["predict", "--graph", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "model c_n" in out
+        assert "measured" in out
+        assert "w = c(E1)/c(T1)" in out
+
+    def test_predict_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(SystemExit):
+            main(["predict", "--graph", str(path)])
+
+    def test_table_command(self, tmp_path, capsys):
+        assert main(["table", "table05", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table05.txt").exists()

@@ -1,0 +1,73 @@
+"""Tests for realizing arbitrary kernels as permutations (section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    AscendingMap,
+    DescendingMap,
+    RoundRobinMap,
+    UniformMap,
+    empirical_kernel,
+)
+from repro.orientations.kernel_permutation import KernelPermutation
+
+
+class TestDeterministicKernels:
+    def test_ascending_reproduced_exactly(self):
+        theta = KernelPermutation(AscendingMap()).rank_to_label(
+            50, np.random.default_rng(0))
+        np.testing.assert_array_equal(theta, np.arange(50))
+
+    def test_descending_reproduced_exactly(self):
+        theta = KernelPermutation(DescendingMap()).rank_to_label(
+            50, np.random.default_rng(0))
+        np.testing.assert_array_equal(theta, np.arange(49, -1, -1))
+
+
+class TestRandomKernels:
+    @pytest.mark.parametrize("limit_map", [RoundRobinMap(), UniformMap()])
+    def test_always_a_bijection(self, limit_map):
+        rng = np.random.default_rng(3)
+        for n in (1, 2, 17, 500):
+            theta = KernelPermutation(limit_map).rank_to_label(n, rng)
+            assert sorted(theta.tolist()) == list(range(n))
+
+    def test_rr_kernel_recovered(self):
+        """The constructed permutation's windowed kernel (27) converges
+        back to the RR kernel it was built from."""
+        rng = np.random.default_rng(9)
+        limit_map = RoundRobinMap()
+        theta = KernelPermutation(limit_map).rank_to_label(40_000, rng)
+        for u in (0.21, 0.52, 0.83):
+            for v in (0.33, 0.57, 0.97):
+                estimate = empirical_kernel(theta, u, v)
+                expected = float(limit_map.kernel(v, np.float64(u)))
+                assert estimate == pytest.approx(expected, abs=0.07), \
+                    (u, v)
+
+    def test_uniform_kernel_recovered(self):
+        rng = np.random.default_rng(11)
+        theta = KernelPermutation(UniformMap()).rank_to_label(40_000, rng)
+        for u in (0.25, 0.75):
+            for v in (0.4, 0.9):
+                assert empirical_kernel(theta, u, v) == pytest.approx(
+                    v, abs=0.07)
+
+    def test_cost_matches_kernel_model(self):
+        """Orienting by the constructed permutation produces the cost
+        the kernel model (29)/(50) predicts."""
+        from repro import (DiscretePareto, discrete_cost_model,
+                           generate_graph, orient,
+                           sample_degree_sequence)
+        from repro.core.costs import method_cost
+        rng = np.random.default_rng(21)
+        n = 4000
+        dist = DiscretePareto(1.7, 21.0).truncate(63)
+        degrees = sample_degree_sequence(dist, n, rng)
+        graph = generate_graph(degrees, rng)
+        perm = KernelPermutation(RoundRobinMap())
+        oriented = orient(graph, perm, rng=rng)
+        measured = method_cost(oriented, "T2")
+        model = discrete_cost_model(dist, "T2", RoundRobinMap())
+        assert measured == pytest.approx(model, rel=0.12)

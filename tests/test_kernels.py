@@ -1,0 +1,169 @@
+"""Tests for limiting maps and measure-preserving kernels (section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    MAPS,
+    AscendingMap,
+    ComplementaryRoundRobinMap,
+    DescendingMap,
+    RoundRobinMap,
+    UniformMap,
+    complement_map,
+    empirical_kernel,
+    get_map,
+    reverse_map,
+)
+from repro.core.methods import METHODS
+from repro.orientations.permutations import (
+    AscendingDegree,
+    ComplementaryRoundRobin,
+    DescendingDegree,
+    RoundRobin,
+)
+
+
+class TestMeasurePreservation:
+    """Definition 4: E[K(v; U)] = v for every map the paper uses."""
+
+    @pytest.mark.parametrize("name", sorted(MAPS))
+    def test_paper_maps(self, name):
+        assert MAPS[name].check_measure_preserving() < 5e-3
+
+    def test_reverse_preserves(self):
+        assert reverse_map(RoundRobinMap()).check_measure_preserving() < 5e-3
+
+    def test_complement_preserves(self):
+        assert complement_map(
+            DescendingMap()).check_measure_preserving() < 5e-3
+
+
+class TestExpectedH:
+    def test_deterministic_maps(self):
+        h = METHODS["T1"].h
+        us = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(AscendingMap().expected_h(h, us), h(us))
+        np.testing.assert_allclose(DescendingMap().expected_h(h, us),
+                                   h(1 - us))
+
+    def test_uniform_constants(self):
+        """Section 5.3: E[h(U)] = 1/6 (vertex), 1/3 (edge)."""
+        u = np.float64(0.37)  # arbitrary: result must not depend on u
+        uniform = UniformMap()
+        assert float(uniform.expected_h(METHODS["T1"].h, u)) \
+            == pytest.approx(1 / 6)
+        assert float(uniform.expected_h(METHODS["T2"].h, u)) \
+            == pytest.approx(1 / 6)
+        assert float(uniform.expected_h(METHODS["E1"].h, u)) \
+            == pytest.approx(1 / 3)
+        assert float(uniform.expected_h(METHODS["E4"].h, u)) \
+            == pytest.approx(1 / 3)
+
+    def test_rr_two_point_average(self):
+        """Prop. 6: E[h(xi_RR(u))] = (h((1-u)/2) + h((1+u)/2)) / 2."""
+        h = METHODS["E1"].h
+        us = np.linspace(0, 1, 21)
+        expected = (h((1 - us) / 2) + h((1 + us) / 2)) / 2
+        np.testing.assert_allclose(RoundRobinMap().expected_h(h, us),
+                                   expected)
+
+    def test_crr_is_rr_complement(self):
+        """xi_CRR(u) = xi_RR(1 - u) (Prop. 7)."""
+        h = METHODS["E4"].h
+        us = np.linspace(0, 1, 21)
+        np.testing.assert_allclose(
+            ComplementaryRoundRobinMap().expected_h(h, us),
+            RoundRobinMap().expected_h(h, 1 - us))
+
+    def test_expected_h_matches_monte_carlo(self):
+        rng = np.random.default_rng(5)
+        h = METHODS["T2"].h
+        for m in (RoundRobinMap(), UniformMap(),
+                  ComplementaryRoundRobinMap()):
+            u = np.full(200_000, 0.3)
+            draws = h(m.sample(u, rng))
+            assert float(np.mean(draws)) == pytest.approx(
+                float(m.expected_h(h, np.float64(0.3))), abs=5e-3)
+
+
+class TestPropostion7:
+    def test_reverse_expected_h(self):
+        """E[h(1 - xi(u))] under reverse equals substituting 1 - x."""
+        h = METHODS["T1"].h
+        us = np.linspace(0, 1, 21)
+        base = RoundRobinMap()
+        np.testing.assert_allclose(
+            reverse_map(base).expected_h(h, us),
+            base.expected_h(lambda x: h(1 - np.asarray(x)), us))
+
+    def test_complement_of_rr_equals_crr(self):
+        h = METHODS["E1"].h
+        us = np.linspace(0, 1, 21)
+        np.testing.assert_allclose(
+            complement_map(RoundRobinMap()).expected_h(h, us),
+            ComplementaryRoundRobinMap().expected_h(h, us))
+
+
+class TestGetMap:
+    def test_by_name_and_instance(self):
+        assert get_map("rr").name == "rr"
+        m = DescendingMap()
+        assert get_map(m) is m
+        with pytest.raises(ValueError):
+            get_map("zigzag")
+
+
+class TestAdmissibility:
+    """Definition 5: the named permutations converge to their maps."""
+
+    @pytest.mark.parametrize("perm,limit_map", [
+        (AscendingDegree(), AscendingMap()),
+        (DescendingDegree(), DescendingMap()),
+        (RoundRobin(), RoundRobinMap()),
+        (ComplementaryRoundRobin(), ComplementaryRoundRobinMap()),
+    ])
+    def test_empirical_kernel_converges(self, perm, limit_map):
+        # (u, v) chosen away from the RR/CRR kernel atoms
+        # {(1-u)/2, (1+u)/2, u/2, 1-u/2}, where the CDF jumps and the
+        # finite-n estimate straddles the discontinuity
+        n = 40_000
+        theta = perm.rank_to_label(n)
+        for u in (0.21, 0.52, 0.83):
+            for v in (0.33, 0.57, 0.97):
+                estimate = empirical_kernel(theta, u, v)
+                expected = float(limit_map.kernel(v, np.float64(u)))
+                assert estimate == pytest.approx(expected, abs=0.05), \
+                    (perm.name, u, v)
+
+    def test_empirical_kernel_validates_input(self):
+        with pytest.raises(ValueError):
+            empirical_kernel(np.array([], dtype=np.int64), 0.5, 0.5)
+
+
+class TestKernelCdfMonteCarlo:
+    """The kernel K(v; u) matches the empirical CDF of sample()."""
+
+    @pytest.mark.parametrize("map_obj", [RoundRobinMap(),
+                                         ComplementaryRoundRobinMap(),
+                                         UniformMap()])
+    def test_kernel_matches_sampling(self, map_obj):
+        import numpy as np
+        rng = np.random.default_rng(14)
+        u = np.full(100_000, 0.37)
+        draws = np.asarray(map_obj.sample(u, rng), dtype=float)
+        for v in (0.2, 0.5, 0.69, 0.9):
+            empirical = float(np.mean(draws <= v))
+            assert empirical == pytest.approx(
+                float(map_obj.kernel(v, np.float64(0.37))), abs=0.01)
+
+    def test_reverse_map_kernel_matches_sampling(self):
+        import numpy as np
+        rng = np.random.default_rng(15)
+        base = reverse_map(RoundRobinMap())
+        u = np.full(100_000, 0.37)
+        draws = np.asarray(base.sample(u, rng), dtype=float)
+        for v in (0.2, 0.5, 0.9):
+            empirical = float(np.mean(draws <= v))
+            assert empirical == pytest.approx(
+                float(base.kernel(v, np.float64(0.37))), abs=0.01)

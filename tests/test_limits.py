@@ -1,0 +1,139 @@
+"""Tests for the asymptotic limits (Theorems 1-2, section 5.3).
+
+The numeric anchors are the infinity rows of the paper's Tables 6-8:
+356.3 (T1+D, alpha 1.5), 1307.6 (T2+D, alpha 1.7), 770.4 (T2+RR,
+alpha 1.7), 181.5 (T1+D, alpha 2.1), 384.3 (T2+RR, alpha 2.1).
+"""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro import DiscretePareto, limit_cost
+from repro.core.limits import (
+    expected_h_uniform,
+    limit_cost_table,
+    no_orientation_cost,
+    spread_from_limit,
+    uniform_orientation_cost,
+)
+
+FAST = dict(eps=1e-4, t_start=1e8, t_max=1e14)
+
+
+class TestPaperLimits:
+    def test_t1_descending_alpha_15(self):
+        dist = DiscretePareto(1.5, 15.0)
+        assert limit_cost(dist, "T1", "descending", **FAST) \
+            == pytest.approx(356.3, abs=0.5)
+
+    def test_t2_descending_alpha_17(self):
+        dist = DiscretePareto(1.7, 21.0)
+        assert limit_cost(dist, "T2", "descending", **FAST) \
+            == pytest.approx(1307.6, rel=2e-3)
+
+    def test_t2_rr_alpha_17(self):
+        dist = DiscretePareto(1.7, 21.0)
+        assert limit_cost(dist, "T2", "rr", **FAST) \
+            == pytest.approx(770.4, rel=2e-3)
+
+    def test_t1_descending_alpha_21(self):
+        dist = DiscretePareto(2.1, 33.0)
+        assert limit_cost(dist, "T1", "descending", **FAST) \
+            == pytest.approx(181.5, rel=2e-3)
+
+    def test_t2_rr_alpha_21(self):
+        dist = DiscretePareto(2.1, 33.0)
+        assert limit_cost(dist, "T2", "rr", **FAST) \
+            == pytest.approx(384.3, rel=2e-3)
+
+    def test_rr_beats_descending_for_t2(self):
+        """Section 5.3 / Corollary 2, visible in Tables 7 and 10."""
+        dist = DiscretePareto(1.7, 21.0)
+        rr = limit_cost(dist, "T2", "rr", **FAST)
+        desc = limit_cost(dist, "T2", "descending", **FAST)
+        assert rr < desc
+
+    def test_t2_rr_is_half_of_e1_descending(self):
+        """Eqs. (34)-(35): c(T2, RR) = c(E1, D) / 2 exactly."""
+        dist = DiscretePareto(1.7, 21.0)
+        rr = limit_cost(dist, "T2", "rr", **FAST)
+        e1 = limit_cost(dist, "E1", "descending", **FAST)
+        assert rr == pytest.approx(e1 / 2.0, rel=1e-3)
+
+
+class TestDivergence:
+    def test_t1_ascending_alpha_15_diverges(self):
+        """Finite only for alpha > 2 under ascending."""
+        dist = DiscretePareto(1.5, 15.0)
+        assert math.isinf(limit_cost(dist, "T1", "ascending", **FAST))
+
+    def test_e1_descending_below_threshold_diverges(self):
+        dist = DiscretePareto(1.45, 13.5)
+        assert math.isinf(limit_cost(dist, "E1", "descending", **FAST))
+
+    def test_t1_descending_above_four_thirds_converges(self):
+        dist = DiscretePareto(1.4, 12.0)
+        assert math.isfinite(limit_cost(dist, "T1", "descending", **FAST))
+
+
+class TestUniformAndNoOrientation:
+    def test_expected_h_constants(self):
+        assert expected_h_uniform("T1") == Fraction(1, 6)
+        assert expected_h_uniform("T2") == Fraction(1, 6)
+        assert expected_h_uniform("E1") == Fraction(1, 3)
+        assert expected_h_uniform("E4") == Fraction(1, 3)
+        with pytest.raises(ValueError):
+            expected_h_uniform("X2")
+
+    def test_uniform_cost_eq31(self):
+        """c(M, xi_U) = E[D^2 - D] E[h(U)]."""
+        dist = DiscretePareto(2.5, 45.0)
+        g_mean = dist.moment(2) - dist.mean()
+        assert uniform_orientation_cost(dist, "T1") \
+            == pytest.approx(g_mean / 6.0)
+        assert uniform_orientation_cost(dist, "E4") \
+            == pytest.approx(g_mean / 3.0)
+
+    def test_uniform_cost_infinite_below_two(self):
+        assert math.isinf(
+            uniform_orientation_cost(DiscretePareto(1.9, 27.0), "T1"))
+
+    def test_three_fold_reduction(self):
+        """Section 5.3: orientation alone divides cost by 3."""
+        dist = DiscretePareto(2.5, 45.0)
+        for family, method in [("vertex", "T1"), ("edge", "E1")]:
+            none = no_orientation_cost(dist, family)
+            uniform = uniform_orientation_cost(dist, method)
+            assert none / uniform == pytest.approx(3.0)
+
+    def test_no_orientation_family_validation(self):
+        with pytest.raises(ValueError):
+            no_orientation_cost(DiscretePareto(2.5, 45.0), "hybrid")
+
+    def test_uniform_limit_matches_eq31(self):
+        """limit_cost under xi_U agrees with the closed form."""
+        dist = DiscretePareto(2.5, 45.0)
+        closed = uniform_orientation_cost(dist, "T1")
+        numeric = limit_cost(dist, "T1", "uniform", **FAST)
+        assert numeric == pytest.approx(closed, rel=1e-3)
+
+
+class TestHelpers:
+    def test_limit_cost_table_shape(self):
+        dist = DiscretePareto(2.5, 45.0)
+        table = limit_cost_table(dist, methods=("T1", "T2"),
+                                 maps=("descending", "rr"), **FAST)
+        assert set(table) == {"T1", "T2"}
+        assert set(table["T1"]) == {"descending", "rr"}
+        assert all(v > 0 for row in table.values() for v in row.values())
+
+    def test_spread_from_limit_matches_closed_form(self):
+        from repro import pareto_spread_cdf
+        dist = DiscretePareto(1.7, 21.0)
+        for x in [10, 100, 1000]:
+            numeric = spread_from_limit(dist, x, t=1e10)
+            closed = pareto_spread_cdf(1.7, 21.0, float(x))
+            assert numeric == pytest.approx(closed, abs=0.02)

@@ -1,0 +1,142 @@
+"""Integration tests: all 18 methods, all orientations, all baselines.
+
+The strongest invariant in the paper's framework: *every* method under
+*every* acyclic orientation lists exactly the same triangles (each once),
+and the instrumented ops always equal the degree-based formulas.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ALL_METHODS,
+    AscendingDegree,
+    ComplementaryRoundRobin,
+    DegenerateOrder,
+    DescendingDegree,
+    DiscretePareto,
+    Graph,
+    RoundRobin,
+    UniformRandom,
+    adjacency_matrix_triangles,
+    brute_force_triangles,
+    chiba_nishizeki_triangles,
+    compact_forward_triangles,
+    count_triangles,
+    forward_triangles,
+    generate_graph,
+    list_triangles,
+    orient,
+    sample_degree_sequence,
+)
+from repro.core.costs import total_cost
+from repro.listing import triangles_in_original_ids
+
+ALL_PERMS = [AscendingDegree(), DescendingDegree(), RoundRobin(),
+             ComplementaryRoundRobin(), UniformRandom(), DegenerateOrder()]
+
+
+def _random_graph(seed, n=120, alpha=1.6):
+    rng = np.random.default_rng(seed)
+    dist = DiscretePareto(alpha, 9.0).truncate(max(int(n**0.5), 2))
+    degrees = sample_degree_sequence(dist, n, rng)
+    return generate_graph(degrees, rng), rng
+
+
+class TestAllMethodsAgree:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_methods_all_permutations(self, seed):
+        graph, rng = _random_graph(seed)
+        reference = brute_force_triangles(graph)
+        for perm in ALL_PERMS:
+            oriented = orient(graph, perm, rng=rng, tie_break="random")
+            for method in ALL_METHODS:
+                result = list_triangles(oriented, method)
+                assert triangles_in_original_ids(result, oriented) \
+                    == reference, f"{method} under {perm.name}"
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_ops_equal_degree_formulas(self, seed):
+        graph, rng = _random_graph(seed)
+        for perm in ALL_PERMS:
+            oriented = orient(graph, perm, rng=rng, tie_break="random")
+            for method in ALL_METHODS:
+                result = list_triangles(oriented, method, collect=False)
+                expected = total_cost(method, oriented.out_degrees,
+                                      oriented.in_degrees)
+                assert result.ops == int(round(expected)), \
+                    f"{method} under {perm.name}"
+
+    def test_each_triangle_listed_once(self):
+        graph, rng = _random_graph(7, n=80)
+        oriented = orient(graph, DescendingDegree())
+        for method in ALL_METHODS:
+            result = list_triangles(oriented, method)
+            assert len(result.triangles) == len(set(result.triangles)), \
+                method
+
+
+class TestBaselinesAgree:
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_classical_baselines(self, seed):
+        graph, __ = _random_graph(seed, n=100)
+        reference = brute_force_triangles(graph)
+        assert adjacency_matrix_triangles(graph) == reference
+        assert chiba_nishizeki_triangles(graph) == reference
+        assert forward_triangles(graph) == reference
+        assert compact_forward_triangles(graph) == reference
+
+    def test_against_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        graph, rng = _random_graph(11, n=150)
+        nx_graph = networkx.Graph()
+        nx_graph.add_nodes_from(range(graph.n))
+        nx_graph.add_edges_from(map(tuple, graph.edges.tolist()))
+        expected = sum(networkx.triangles(nx_graph).values()) // 3
+        oriented = orient(graph, DescendingDegree())
+        assert count_triangles(oriented, "E1") == expected
+
+    def test_count_matches_trace_formula(self):
+        graph, __ = _random_graph(5, n=90)
+        oriented = orient(graph, DescendingDegree())
+        assert count_triangles(oriented) \
+            == graph.triangle_count_reference()
+
+
+class TestPropertyBased:
+    @given(st.sets(st.tuples(st.integers(0, 14), st.integers(0, 14)),
+                   max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_small_graphs(self, raw_edges):
+        """Any simple graph: all 18 methods match brute force."""
+        edges = {(min(u, v), max(u, v)) for u, v in raw_edges if u != v}
+        graph = Graph(15, sorted(edges))
+        reference = brute_force_triangles(graph)
+        oriented = orient(graph, DescendingDegree())
+        for method in ALL_METHODS:
+            result = list_triangles(oriented, method)
+            assert triangles_in_original_ids(result, oriented) == reference
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_counts_invariant_across_methods(self, seed):
+        graph, rng = _random_graph(seed, n=60)
+        counts = set()
+        for perm in (AscendingDegree(), RoundRobin()):
+            oriented = orient(graph, perm)
+            counts.update(count_triangles(oriented, m)
+                          for m in ("T1", "E4", "L3"))
+        assert len(counts) == 1
+
+
+class TestApi:
+    def test_list_triangles_dispatch(self, k4_graph):
+        oriented = orient(k4_graph, DescendingDegree())
+        for method in ("t1", "E1", "l5"):
+            assert list_triangles(oriented, method).count == 4
+
+    def test_unknown_method(self, k4_graph):
+        oriented = orient(k4_graph, DescendingDegree())
+        with pytest.raises(ValueError):
+            list_triangles(oriented, "X1")

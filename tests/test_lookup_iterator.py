@@ -1,0 +1,62 @@
+"""Tests for lookup edge iterators L1-L6 (section 2.3, Table 2)."""
+
+import pytest
+
+from repro import DescendingDegree, OrientedGraph, orient
+from repro.core.costs import cost_t1, cost_t2, cost_t3
+from repro.listing import run_lookup_iterator
+
+LEI_METHODS = ("L1", "L2", "L3", "L4", "L5", "L6")
+
+#: Table 2: lookup cost per method.
+TABLE_2 = {
+    "L1": "T2", "L2": "T1", "L3": "T2",
+    "L4": "T3", "L5": "T3", "L6": "T1",
+}
+
+
+def _base_cost(name, oriented):
+    if name == "T1":
+        return cost_t1(oriented.out_degrees)
+    if name == "T2":
+        return cost_t2(oriented.out_degrees, oriented.in_degrees)
+    return cost_t3(oriented.in_degrees)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("method", LEI_METHODS)
+    def test_single_triangle(self, triangle_graph, method):
+        oriented = OrientedGraph(triangle_graph, [0, 1, 2])
+        result = run_lookup_iterator(oriented, method)
+        assert result.count == 1
+        assert result.triangles == [(0, 1, 2)]
+
+    @pytest.mark.parametrize("method", LEI_METHODS)
+    def test_k4(self, k4_graph, method):
+        oriented = OrientedGraph(k4_graph, [0, 1, 2, 3])
+        assert run_lookup_iterator(oriented, method).count == 4
+
+    @pytest.mark.parametrize("method", LEI_METHODS)
+    def test_no_triangles(self, path_graph, method):
+        oriented = orient(path_graph, DescendingDegree())
+        assert run_lookup_iterator(oriented, method).count == 0
+
+    def test_unknown_method(self, triangle_graph):
+        oriented = OrientedGraph(triangle_graph, [0, 1, 2])
+        with pytest.raises(ValueError):
+            run_lookup_iterator(oriented, "L9")
+
+
+class TestTable2Costs:
+    @pytest.mark.parametrize("method", LEI_METHODS)
+    def test_lookup_ops_match_table_2(self, pareto_graph, method):
+        oriented = orient(pareto_graph, DescendingDegree())
+        result = run_lookup_iterator(oriented, method)
+        assert result.ops == int(_base_cost(TABLE_2[method], oriented))
+
+    @pytest.mark.parametrize("method", LEI_METHODS)
+    def test_hash_population_is_m(self, pareto_graph, method):
+        """Section 2.3: populating the tables costs sum X_i = m."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        result = run_lookup_iterator(oriented, method)
+        assert result.hash_inserts == pareto_graph.m

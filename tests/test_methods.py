@@ -1,0 +1,85 @@
+"""Tests for the method registry (Table 4 and the equivalence classes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.methods import FUNDAMENTAL_METHODS, METHODS, get_method
+
+
+class TestTable4:
+    def test_h_t1(self):
+        xs = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(METHODS["T1"].h(xs), xs**2 / 2)
+
+    def test_h_t2(self):
+        xs = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(METHODS["T2"].h(xs), xs * (1 - xs))
+
+    def test_h_e1(self):
+        xs = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(METHODS["E1"].h(xs), xs * (2 - xs) / 2)
+
+    def test_h_e4(self):
+        xs = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(METHODS["E4"].h(xs),
+                                   (xs**2 + (1 - xs)**2) / 2)
+
+    def test_e1_h_is_t1_plus_t2(self):
+        """Prop. 2 at the h level: h_E1 = h_T1 + h_T2."""
+        xs = np.linspace(0, 1, 101)
+        np.testing.assert_allclose(
+            METHODS["E1"].h(xs), METHODS["T1"].h(xs) + METHODS["T2"].h(xs))
+
+    def test_e4_h_is_t1_plus_t3(self):
+        xs = np.linspace(0, 1, 101)
+        np.testing.assert_allclose(
+            METHODS["E4"].h(xs), METHODS["T1"].h(xs) + METHODS["T3"].h(xs))
+
+    def test_e3_h_is_t3_plus_t2(self):
+        xs = np.linspace(0, 1, 101)
+        np.testing.assert_allclose(
+            METHODS["E3"].h(xs), METHODS["T3"].h(xs) + METHODS["T2"].h(xs))
+
+    def test_t2_h_symmetric(self):
+        """h(1-x) = h(x) for T2: both monotonic permutations tie."""
+        xs = np.linspace(0, 1, 101)
+        np.testing.assert_allclose(METHODS["T2"].h(xs),
+                                   METHODS["T2"].h(1 - xs))
+
+    def test_e4_h_symmetric(self):
+        xs = np.linspace(0, 1, 101)
+        np.testing.assert_allclose(METHODS["E4"].h(xs),
+                                   METHODS["E4"].h(1 - xs))
+
+    def test_mirror_classes(self):
+        """h_T3(x) = h_T1(1-x) and h_E3(x) = h_E1(1-x) (reversal)."""
+        xs = np.linspace(0, 1, 101)
+        np.testing.assert_allclose(METHODS["T3"].h(xs),
+                                   METHODS["T1"].h(1 - xs))
+        np.testing.assert_allclose(METHODS["E3"].h(xs),
+                                   METHODS["E1"].h(1 - xs))
+
+
+class TestRegistry:
+    def test_all_18_present(self):
+        assert len(METHODS) == 18
+        for family, count in [("vertex", 6), ("sei", 6), ("lei", 6)]:
+            assert sum(m.family == family for m in METHODS.values()) == count
+
+    def test_fundamental_four(self):
+        assert FUNDAMENTAL_METHODS == ("T1", "T2", "E1", "E4")
+
+    def test_equivalence_class_representatives(self):
+        """Figures 2/4: only four distinct classes survive."""
+        classes = {m.equivalent_to for m in METHODS.values()}
+        assert classes == {"T1", "T2", "E1", "E4"}
+
+    def test_g_function(self):
+        m = METHODS["T1"]
+        np.testing.assert_allclose(m.g(np.array([1.0, 2.0, 5.0])),
+                                   [0.0, 2.0, 20.0])
+
+    def test_get_method_case_insensitive(self):
+        assert get_method("e4").name == "E4"
+        with pytest.raises(ValueError):
+            get_method("Z9")

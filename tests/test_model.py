@@ -1,0 +1,147 @@
+"""Tests for the cost models (49)-(50) and Algorithm 2.
+
+The gold standard here is Table 5 of the paper (alpha = 1.5,
+beta = 30(alpha-1) = 15, T1 + descending, linear truncation), whose
+discrete-model column we reproduce to all published decimals.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DescendingDegree,
+    DiscretePareto,
+    continuous_cost_model,
+    discrete_cost_model,
+    fast_cost_model,
+)
+from repro.core.weights import capped_weight
+from repro.distributions import ContinuousPareto, linear_truncation
+
+DIST = DiscretePareto(alpha=1.5, beta=15.0)
+
+#: Table 5 column "F(x) in (50)": the exact discrete model.
+TABLE_5_DISCRETE = {10**3: 142.85, 10**4: 241.15, 10**7: 346.92}
+
+#: Table 5 column "F*(x) in (49)": the continuous model.
+TABLE_5_CONTINUOUS = {10**3: 144.86, 10**4: 245.29, 10**7: 353.92}
+
+
+class TestDiscreteModel:
+    @pytest.mark.parametrize("n,expected",
+                             sorted(TABLE_5_DISCRETE.items()))
+    def test_table5_exact_values(self, n, expected):
+        dist_n = DIST.truncate(linear_truncation(n))
+        value = discrete_cost_model(dist_n, "T1", "descending")
+        assert value == pytest.approx(expected, abs=0.005)
+
+    def test_requires_truncation(self):
+        with pytest.raises(ValueError, match="truncated"):
+            discrete_cost_model(DIST, "T1", "descending")
+
+    def test_t2_symmetric_permutations(self):
+        """h_T2(1-x) = h_T2(x): ascending and descending models agree."""
+        dist_n = DIST.truncate(500)
+        asc = discrete_cost_model(dist_n, "T2", "ascending")
+        desc = discrete_cost_model(dist_n, "T2", "descending")
+        assert asc == pytest.approx(desc)
+
+    def test_e1_model_is_t1_plus_t2(self):
+        dist_n = DIST.truncate(500)
+        e1 = discrete_cost_model(dist_n, "E1", "descending")
+        t1 = discrete_cost_model(dist_n, "T1", "descending")
+        t2 = discrete_cost_model(dist_n, "T2", "descending")
+        assert e1 == pytest.approx(t1 + t2)
+
+    def test_uniform_map_model(self):
+        """Under xi_U the model factorizes: E[g(D_n)] * E[h(U)]."""
+        dist_n = DIST.truncate(500)
+        value = discrete_cost_model(dist_n, "T1", "uniform")
+        ks = np.arange(1, 501, dtype=float)
+        g_mean = float(np.sum((ks * ks - ks) * dist_n.pmf(ks)))
+        assert value == pytest.approx(g_mean / 6.0, rel=1e-9)
+
+    def test_descending_beats_ascending_for_t1(self):
+        dist_n = DIST.truncate(500)
+        desc = discrete_cost_model(dist_n, "T1", "descending")
+        asc = discrete_cost_model(dist_n, "T1", "ascending")
+        assert desc < asc
+
+    def test_capped_weight_reduces_t1_model(self):
+        """w2 = min(x, sqrt(m)) tempers hub influence (Table 11 setup)."""
+        dist_n = DiscretePareto(1.2, 6.0).truncate(9999)
+        w1 = discrete_cost_model(dist_n, "T1", "descending")
+        w2 = discrete_cost_model(dist_n, "T1", "descending",
+                                 weight=capped_weight(400.0))
+        assert w2 != w1  # the weight genuinely enters the model
+
+
+class TestFastModel:
+    def test_exact_when_eps_tiny(self):
+        dist_n = DIST.truncate(999)
+        exact = discrete_cost_model(dist_n, "T1", "descending")
+        fast = fast_cost_model(dist_n, "T1", "descending", eps=1e-4)
+        assert fast == pytest.approx(exact, rel=1e-6)
+
+    def test_eps_one_over_t_is_bitwise_exact(self):
+        dist_n = DIST.truncate(200)
+        exact = discrete_cost_model(dist_n, "T1", "descending")
+        fast = fast_cost_model(dist_n, "T1", "descending", eps=1 / 200)
+        assert fast == pytest.approx(exact, rel=1e-12)
+
+    @pytest.mark.parametrize("n,expected",
+                             sorted(TABLE_5_DISCRETE.items()))
+    def test_table5_algorithm2_column(self, n, expected):
+        """Algorithm 2 matches the exact column at eps = 1e-5."""
+        dist_n = DIST.truncate(linear_truncation(n))
+        value = fast_cost_model(dist_n, "T1", "descending", eps=1e-5)
+        assert value == pytest.approx(expected, abs=0.005)
+
+    def test_table5_huge_n(self):
+        """The n = 1e10 row (355.79), unreachable by the exact model in
+        reasonable time, matches via Algorithm 2."""
+        dist_n = DIST.truncate(10**10 - 1)
+        value = fast_cost_model(dist_n, "T1", "descending", eps=1e-5)
+        assert value == pytest.approx(355.79, abs=0.02)
+
+    def test_rejects_bad_eps(self):
+        dist_n = DIST.truncate(100)
+        with pytest.raises(ValueError):
+            fast_cost_model(dist_n, "T1", "descending", eps=0.0)
+        with pytest.raises(ValueError):
+            fast_cost_model(dist_n, "T1", "descending", eps=1.0)
+
+    def test_requires_truncation(self):
+        with pytest.raises(ValueError):
+            fast_cost_model(DIST, "T1", "descending")
+
+    def test_all_maps_and_methods_run(self):
+        dist_n = DIST.truncate(300)
+        for method in ("T1", "T2", "E1", "E4"):
+            for map_name in ("ascending", "descending", "rr", "crr",
+                             "uniform"):
+                value = fast_cost_model(dist_n, method, map_name, eps=1e-3)
+                assert value > 0
+
+
+class TestContinuousModel:
+    @pytest.mark.parametrize("n,expected",
+                             sorted(TABLE_5_CONTINUOUS.items()))
+    def test_table5_continuous_column(self, n, expected):
+        cont = ContinuousPareto(1.5, 15.0)
+        value = continuous_cost_model(cont, linear_truncation(n), "T1",
+                                      "descending")
+        assert value == pytest.approx(expected, rel=2e-3)
+
+    def test_continuous_overshoots_discrete(self):
+        """Table 5's observation: the continuous model runs 1.5-2% high."""
+        n = 10**4
+        cont = ContinuousPareto(1.5, 15.0)
+        c_val = continuous_cost_model(cont, n - 1, "T1", "descending")
+        d_val = discrete_cost_model(DIST.truncate(n - 1), "T1",
+                                    "descending")
+        assert 1.005 < c_val / d_val < 1.03
+
+    def test_rejects_bad_truncation(self):
+        with pytest.raises(ValueError):
+            continuous_cost_model(ContinuousPareto(1.5, 15.0), 0.0, "T1")

@@ -1,0 +1,77 @@
+"""Numerical-precision regression tests.
+
+These pin the survival-function arithmetic that keeps the huge-``t_n``
+models honest: in float64 the CDF saturates at 1.0 once the tail drops
+below ~2^-53, silently zeroing block masses in naive ``cdf`` differences
+(the bug class that once froze Algorithm 2's output beyond
+``t_n ~ 1e11``).
+"""
+
+import numpy as np
+import pytest
+
+from repro import DiscretePareto, fast_cost_model
+from repro.distributions import GeometricDegree, ZipfDegree
+
+
+class TestSurvivalPrecision:
+    def test_pareto_sf_far_past_float64_epsilon(self):
+        """sf keeps relative precision where 1 - cdf returns 0."""
+        dist = DiscretePareto(1.5, 15.0)
+        x = 1e14
+        analytic = (1.0 + x / 15.0) ** -1.5
+        assert float(dist.sf(x)) == pytest.approx(analytic, rel=1e-12)
+        assert float(1.0 - dist.cdf(x)) == 0.0  # the naive path is dead
+
+    def test_truncated_sf_uses_base_tail(self):
+        dist = DiscretePareto(1.5, 15.0).truncate(10**14)
+        x = 1e12
+        base = DiscretePareto(1.5, 15.0)
+        expected = (float(base.sf(x)) - float(base.sf(1e14)))
+        assert float(dist.sf(x)) == pytest.approx(expected, rel=1e-9)
+        assert float(dist.sf(2e14)) == 0.0  # above the truncation point
+        assert float(dist.sf(0.5)) == 1.0   # below the support
+
+    def test_geometric_sf_underflow_graceful(self):
+        dist = GeometricDegree(0.5)
+        assert float(dist.sf(2000)) == 0.0  # clean underflow, no error
+        assert float(dist.sf(10)) == pytest.approx(0.5**10)
+
+    def test_zipf_sf_hurwitz(self):
+        from scipy.special import zeta
+        dist = ZipfDegree(2.5)
+        x = 1e9
+        expected = zeta(2.5, x + 1) / zeta(2.5, 1)
+        assert float(dist.sf(x)) == pytest.approx(expected, rel=1e-9)
+
+    def test_fast_model_not_frozen_beyond_1e11(self):
+        """The regression that motivated the sf rewrite: Algorithm 2
+        must keep moving between t = 1e12 and 1e16 for a divergent
+        case (here E1+descending at alpha = 1.45 < 1.5)."""
+        dist = DiscretePareto(1.45, 13.5)
+        v12 = fast_cost_model(dist.truncate(10**12), "E1", "descending",
+                              eps=1e-4)
+        v16 = fast_cost_model(dist.truncate(10**16), "E1", "descending",
+                              eps=1e-4)
+        assert v16 > 1.5 * v12
+
+    def test_sf_cdf_complementary_in_safe_range(self):
+        dist = DiscretePareto(1.7, 21.0)
+        xs = np.array([1.0, 10.0, 1e3, 1e6])
+        np.testing.assert_allclose(dist.sf(xs) + dist.cdf(xs), 1.0,
+                                   rtol=1e-12)
+
+
+class TestIntegerSafety:
+    def test_edge_keys_fit_int64(self):
+        """The directed-edge hash key ``src * n + dst`` must not
+        overflow for any n this library realistically handles."""
+        n = 3_000_000_000  # 3e9 nodes: key max ~ 9e18 < 2^63-1
+        assert (n - 1) * n + (n - 2) < 2**63 - 1
+
+    def test_cost_formulas_use_float64(self):
+        """Quadratic sums of big degrees stay finite in the evaluator."""
+        from repro.core.costs import cost_t1
+        big = np.full(10, 10**8, dtype=np.int64)
+        assert cost_t1(big) == pytest.approx(10 * (1e16 - 1e8) / 2,
+                                             rel=1e-12)

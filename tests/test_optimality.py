@@ -1,0 +1,180 @@
+"""Tests for section 6: Theorems 3-5, Corollaries 1-3, Proposition 8."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kernels import (
+    MAPS,
+    AscendingMap,
+    ComplementaryRoundRobinMap,
+    DescendingMap,
+    RoundRobinMap,
+    UniformMap,
+)
+from repro.core.methods import METHODS
+from repro.core.optimality import (
+    cost_functional,
+    discrete_functional,
+    opt_permutation_ranks,
+    optimal_map,
+    worst_map,
+)
+
+INCREASING_RS = [
+    lambda x: x,
+    lambda x: x**2,
+    lambda x: np.exp(2 * x),
+    lambda x: np.sqrt(x),
+]
+
+DECREASING_RS = [
+    lambda x: 1 - x,
+    lambda x: np.exp(-3 * x),
+    lambda x: 1.0 / (1.0 + 5 * x),
+]
+
+
+class TestOptimalMapAssignments:
+    def test_corollary_1(self):
+        assert isinstance(optimal_map("T1"), DescendingMap)
+        assert isinstance(optimal_map("E1"), DescendingMap)
+        assert isinstance(optimal_map("E2"), DescendingMap)
+        assert isinstance(optimal_map("T3"), AscendingMap)
+        assert isinstance(optimal_map("E3"), AscendingMap)
+        assert isinstance(optimal_map("E5"), AscendingMap)
+
+    def test_corollary_2(self):
+        assert isinstance(optimal_map("T2"), RoundRobinMap)
+        assert isinstance(optimal_map("E4"), ComplementaryRoundRobinMap)
+        assert isinstance(optimal_map("E6"), ComplementaryRoundRobinMap)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            optimal_map("T9")
+
+
+class TestTheorem3:
+    """The declared optimal map minimizes E[r(U) h(xi(U))] over the
+    five named maps for every increasing r."""
+
+    @pytest.mark.parametrize("method", ["T1", "T2", "T3", "E1", "E4"])
+    def test_optimal_beats_named_maps(self, method):
+        h = METHODS[method].h
+        best = optimal_map(method)
+        for r in INCREASING_RS:
+            best_value = cost_functional(r, h, best)
+            for name, candidate in MAPS.items():
+                value = cost_functional(r, h, candidate)
+                assert best_value <= value + 1e-9, (method, name)
+
+    @pytest.mark.parametrize("method", ["T1", "T2", "E1", "E4"])
+    def test_decreasing_r_flips_optimum(self, method):
+        h = METHODS[method].h
+        best = optimal_map(method, r_increasing=False)
+        for r in DECREASING_RS:
+            best_value = cost_functional(r, h, best)
+            for name, candidate in MAPS.items():
+                value = cost_functional(r, h, candidate)
+                assert best_value <= value + 1e-9, (method, name)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0),
+                    min_size=8, max_size=60),
+           st.sampled_from(["T1", "T2", "E1", "E4"]),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_algorithm1_beats_random_permutations(self, increments,
+                                                  method, seed):
+        """OPT minimizes the finite-n objective over random bijections
+        for any non-decreasing r sample (Theorem 3 at finite n)."""
+        r_values = np.cumsum(np.asarray(increments))  # non-decreasing
+        n = r_values.size
+        h = METHODS[method].h
+        theta_opt = opt_permutation_ranks(method, n)
+        opt_value = discrete_functional(r_values, h, theta_opt)
+        rng = np.random.default_rng(seed)
+        for __ in range(5):
+            theta_rand = rng.permutation(n)
+            assert opt_value <= discrete_functional(
+                r_values, h, theta_rand) + 1e-9
+
+
+class TestProposition8:
+    def test_constant_r_makes_all_maps_equal(self):
+        h = METHODS["E1"].h
+        values = [cost_functional(lambda x: np.full_like(x, 3.0), h, m)
+                  for m in MAPS.values()]
+        np.testing.assert_allclose(values, values[0], rtol=1e-3)
+
+    def test_constant_r_value_matches_uniform(self):
+        """Prop. 8's value equals the random-permutation cost shape."""
+        h = METHODS["T1"].h
+        value = cost_functional(lambda x: np.ones_like(x), h,
+                                DescendingMap())
+        assert value == pytest.approx(1 / 6, abs=1e-4)
+
+
+class TestTheorems4And5:
+    def test_theorem_4_increasing(self):
+        """c(T1, xi_D) < c(T2, xi_RR) when r is increasing."""
+        for r in INCREASING_RS:
+            t1 = cost_functional(r, METHODS["T1"].h, DescendingMap())
+            t2 = cost_functional(r, METHODS["T2"].h, RoundRobinMap())
+            assert t1 < t2
+
+    def test_theorem_4_decreasing(self):
+        for r in DECREASING_RS:
+            t1 = cost_functional(r, METHODS["T1"].h, DescendingMap())
+            t2 = cost_functional(r, METHODS["T2"].h, RoundRobinMap())
+            assert t1 > t2
+
+    def test_theorem_5_increasing(self):
+        """c(E1, xi_D) < c(E4, xi_CRR) when r is increasing."""
+        for r in INCREASING_RS:
+            e1 = cost_functional(r, METHODS["E1"].h, DescendingMap())
+            e4 = cost_functional(r, METHODS["E4"].h,
+                                 ComplementaryRoundRobinMap())
+            assert e1 < e4
+
+    def test_theorem_5_decreasing(self):
+        for r in DECREASING_RS:
+            e1 = cost_functional(r, METHODS["E1"].h, DescendingMap())
+            e4 = cost_functional(r, METHODS["E4"].h,
+                                 ComplementaryRoundRobinMap())
+            assert e1 > e4
+
+    def test_constant_r_ties(self):
+        r = lambda x: np.ones_like(x)
+        t1 = cost_functional(r, METHODS["T1"].h, DescendingMap())
+        t2 = cost_functional(r, METHODS["T2"].h, RoundRobinMap())
+        assert t1 == pytest.approx(t2, rel=1e-3)
+        e1 = cost_functional(r, METHODS["E1"].h, DescendingMap())
+        e4 = cost_functional(r, METHODS["E4"].h,
+                             ComplementaryRoundRobinMap())
+        assert e1 == pytest.approx(e4, rel=1e-3)
+
+
+class TestCorollary3:
+    @pytest.mark.parametrize("method", ["T1", "T2", "E1", "E4"])
+    def test_worst_is_complement_and_maximizes(self, method):
+        h = METHODS[method].h
+        worst = worst_map(method)
+        for r in INCREASING_RS:
+            worst_value = cost_functional(r, h, worst)
+            for candidate in MAPS.values():
+                assert worst_value >= cost_functional(r, h, candidate) - 1e-9
+
+    def test_worst_of_t1_is_ascending(self):
+        """complement(descending) acts like ascending."""
+        h = METHODS["T1"].h
+        us = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(
+            worst_map("T1").expected_h(h, us),
+            AscendingMap().expected_h(h, us))
+
+
+class TestDiscreteFunctional:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            discrete_functional(np.ones(3), METHODS["T1"].h,
+                                np.array([0, 1]))

@@ -1,0 +1,87 @@
+"""Tests for the Glivenko-Cantelli / L-estimator machinery (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro import DiscretePareto
+from repro.core.kernels import DescendingMap, RoundRobinMap
+from repro.core.order_statistics import (
+    l_statistic,
+    l_statistic_limit,
+    partial_sum,
+    partial_sum_limit,
+    permuted_l_statistic,
+    permuted_l_statistic_limit,
+)
+from repro.orientations.permutations import DescendingDegree, RoundRobin
+
+DIST = DiscretePareto(2.5, 45.0).truncate(500)
+
+G = lambda x: np.asarray(x) ** 2 - np.asarray(x)   # the paper's g
+PHI = lambda u: (1.0 - np.asarray(u)) ** 2         # T1+descending's h x2
+
+
+class TestEq16:
+    def test_l_statistic_converges(self):
+        rng = np.random.default_rng(0)
+        limit = l_statistic_limit(DIST, G, PHI)
+        samples = DIST.sample(400_000, rng)
+        empirical = l_statistic(samples, G, PHI)
+        assert empirical == pytest.approx(limit, rel=0.05)
+
+    def test_l_statistic_exact_small_case(self):
+        """Hand-checkable: samples [1, 2], g = id, phi = id."""
+        value = l_statistic([2, 1], lambda x: np.asarray(x, float),
+                            lambda u: np.asarray(u, float))
+        # (1 * 0.5 + 2 * 1.0) / 2
+        assert value == pytest.approx(1.25)
+
+    def test_empty_samples(self):
+        assert l_statistic([], G, PHI) == 0.0
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("u", [0.25, 0.5, 0.9, 1.0])
+    def test_partial_sums_converge(self, u):
+        rng = np.random.default_rng(1)
+        limit = partial_sum_limit(DIST, G, u)
+        samples = DIST.sample(400_000, rng)
+        empirical = partial_sum(samples, G, u)
+        assert empirical == pytest.approx(limit, rel=0.06, abs=1e-3)
+
+    def test_u_zero(self):
+        assert partial_sum([1, 2, 3], G, 0.0) == 0.0
+        assert partial_sum_limit(DIST, G, 0.0) == 0.0
+
+    def test_u_validation(self):
+        with pytest.raises(ValueError):
+            partial_sum([1], G, 1.5)
+        with pytest.raises(ValueError):
+            partial_sum_limit(DIST, G, -0.1)
+
+    def test_full_range_matches_mean(self):
+        """u = 1 recovers E[g(D)] on both sides."""
+        limit = partial_sum_limit(DIST, G, 1.0)
+        ks = np.arange(1, 501, dtype=float)
+        expected = float(np.sum(G(ks) * DIST.pmf(ks)))
+        assert limit == pytest.approx(expected, rel=1e-3)
+
+
+class TestLemma3:
+    @pytest.mark.parametrize("perm,limit_map", [
+        (DescendingDegree(), DescendingMap()),
+        (RoundRobin(), RoundRobinMap()),
+    ])
+    def test_permuted_statistic_converges(self, perm, limit_map):
+        rng = np.random.default_rng(2)
+        h = lambda x: np.asarray(x) * (1.0 - np.asarray(x))  # T2's h
+        limit = permuted_l_statistic_limit(DIST, limit_map, G, h)
+        n = 200_000
+        samples = DIST.sample(n, rng)
+        theta = perm.rank_to_label(n)
+        empirical = permuted_l_statistic(samples, theta, G, h)
+        assert empirical == pytest.approx(limit, rel=0.05)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            permuted_l_statistic([1, 2, 3], np.array([0, 1]), G, PHI)

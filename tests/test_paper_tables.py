@@ -1,0 +1,63 @@
+"""Tests for the library-level table generators and the runner."""
+
+import math
+
+import pytest
+
+from repro.experiments.paper_tables import (
+    ALL_TABLES,
+    table05,
+    table06,
+    table11,
+    table12,
+)
+from repro.experiments.reproduce import reproduce_all
+
+SMALL = dict(sizes=(300, 600), n_sequences=2, n_graphs=1)
+
+
+class TestGenerators:
+    def test_registry_complete(self):
+        assert set(ALL_TABLES) == {f"table{i:02d}" for i in range(5, 13)}
+
+    def test_table05_small(self):
+        text, rows = table05(exact_sizes=(10**3,),
+                             fast_sizes=(10**3, 10**4))
+        assert "Table 5" in text
+        # the n=1e3 exact cell is the paper's 142.85
+        n, __, __, exact, __, fast, __ = rows[0]
+        assert n == 10**3
+        assert exact == pytest.approx(142.85, abs=0.01)
+        assert fast == pytest.approx(exact, abs=0.01)
+
+    def test_table06_small(self):
+        text, rows = table06(**SMALL)
+        assert "alpha=1.5" in text
+        assert rows[-1].n == "inf"
+        assert math.isinf(rows[-1].cells[0][1])      # T1+A diverges
+        assert rows[-1].cells[1][1] == pytest.approx(356.3, abs=0.5)
+
+    def test_table11_small(self):
+        text, data = table11(sizes=(400,), n_sequences=2, n_graphs=1)
+        assert "w1" in text
+        row = data[400]
+        assert set(row) == {"T1+D", "T2+D", "T2+RR"}
+        # w2 shrinks the T2+RR error magnitude (the experiment's point)
+        assert abs(row["T2+RR"][1]) < abs(row["T2+RR"][0])
+
+    def test_table12_small(self):
+        text, data = table12(n=3000)
+        assert "Twitter-like" in text
+        assert data["report"]["per_method"]["T1"]["best"] == "descending"
+
+
+class TestReproduceRunner:
+    def test_subset_run(self, tmp_path, capsys):
+        results = reproduce_all(tmp_path, tables=["table05"])
+        assert "table05" in results
+        assert (tmp_path / "table05.txt").exists()
+        assert "Table 5" in capsys.readouterr().out
+
+    def test_unknown_table(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown table"):
+            reproduce_all(tmp_path, tables=["table99"])

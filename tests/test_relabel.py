@@ -1,0 +1,70 @@
+"""Tests for the relabel + orient preprocessing (section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro import AscendingDegree, DescendingDegree, Graph, orient
+from repro.orientations import labels_from_rank_map
+
+
+class TestLabelsFromRankMap:
+    def test_identity_theta_sorts_by_degree(self):
+        degrees = np.array([5, 1, 3])
+        labels = labels_from_rank_map(degrees, np.array([0, 1, 2]))
+        # vertex 1 (deg 1) -> rank 0 -> label 0; vertex 2 -> 1; vertex 0 -> 2
+        np.testing.assert_array_equal(labels, [2, 0, 1])
+
+    def test_reversed_theta(self):
+        degrees = np.array([5, 1, 3])
+        labels = labels_from_rank_map(degrees, np.array([2, 1, 0]))
+        np.testing.assert_array_equal(labels, [0, 2, 1])
+
+    def test_stable_tie_break(self):
+        degrees = np.array([2, 2, 2])
+        labels = labels_from_rank_map(degrees, np.array([0, 1, 2]))
+        np.testing.assert_array_equal(labels, [0, 1, 2])
+
+    def test_random_tie_break_needs_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            labels_from_rank_map(np.array([1, 1]), np.array([0, 1]),
+                                 tie_break="random")
+
+    def test_random_tie_break_varies(self):
+        degrees = np.ones(30, dtype=np.int64)
+        theta = np.arange(30)
+        rng = np.random.default_rng(0)
+        outcomes = {tuple(labels_from_rank_map(degrees, theta, rng=rng,
+                                               tie_break="random"))
+                    for __ in range(10)}
+        assert len(outcomes) > 1
+
+    def test_unknown_tie_break(self):
+        with pytest.raises(ValueError, match="tie_break"):
+            labels_from_rank_map(np.array([1, 2]), np.array([0, 1]),
+                                 tie_break="coin")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            labels_from_rank_map(np.array([1, 2, 3]), np.array([0, 1]))
+
+
+class TestOrient:
+    def test_descending_gives_hubs_small_labels(self):
+        star = Graph(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        oriented = orient(star, DescendingDegree())
+        hub_label = oriented.labels[0] if hasattr(oriented, "labels") else None
+        assert oriented.labels[0] == 0  # the hub gets label 0
+        assert int(oriented.out_degrees[0]) == 0
+        assert int(oriented.in_degrees[0]) == 4
+
+    def test_ascending_gives_hubs_large_labels(self):
+        star = Graph(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        oriented = orient(star, AscendingDegree())
+        assert oriented.labels[0] == 4
+        assert int(oriented.out_degrees[4]) == 4
+
+    def test_descending_minimizes_t1_over_ascending(self, pareto_graph):
+        from repro.core.costs import method_cost
+        desc = orient(pareto_graph, DescendingDegree())
+        asc = orient(pareto_graph, AscendingDegree())
+        assert method_cost(desc, "T1") < method_cost(asc, "T1")

@@ -1,0 +1,121 @@
+"""Tests for the spread distribution J(x) (section 4.1, eqs. (18)-(19))."""
+
+import numpy as np
+import pytest
+
+from repro import DiscretePareto, SpreadDistribution, pareto_spread_cdf
+from repro.core.weights import capped_weight, identity_weight
+from repro.distributions import ContinuousPareto, GeometricDegree
+
+
+class TestSpreadBasics:
+    def test_is_a_cdf(self):
+        dist = DiscretePareto(1.7, 21.0).truncate(200)
+        spread = SpreadDistribution(dist)
+        xs = np.arange(0, 201)
+        js = spread.cdf(xs.astype(float))
+        assert js[0] == 0.0
+        assert js[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(js) >= -1e-15)
+
+    def test_pmf_is_size_biased(self):
+        """P(S = k) = k P(D = k) / E[D] for w(x) = x."""
+        dist = DiscretePareto(1.7, 21.0).truncate(100)
+        spread = SpreadDistribution(dist)
+        ks = np.arange(1, 101, dtype=float)
+        mean = float(np.sum(ks * dist.pmf(ks)))
+        np.testing.assert_allclose(spread.pmf(ks),
+                                   ks * dist.pmf(ks) / mean)
+
+    def test_requires_finite_support(self):
+        with pytest.raises(ValueError, match="finite support"):
+            SpreadDistribution(DiscretePareto(1.5, 15.0))
+
+    def test_weighted_spread(self):
+        """With w(x) = min(x, a) the bias saturates above a."""
+        dist = DiscretePareto(1.7, 21.0).truncate(100)
+        spread = SpreadDistribution(dist, weight=capped_weight(10.0))
+        ks = np.arange(1, 101, dtype=float)
+        w = np.minimum(ks, 10.0)
+        norm = float(np.sum(w * dist.pmf(ks)))
+        np.testing.assert_allclose(spread.pmf(ks),
+                                   w * dist.pmf(ks) / norm)
+
+    def test_mean_weight(self):
+        dist = DiscretePareto(1.7, 21.0).truncate(100)
+        ks = np.arange(1, 101, dtype=float)
+        expected = float(np.sum(ks * dist.pmf(ks)))
+        assert SpreadDistribution(dist).mean_weight == pytest.approx(expected)
+
+
+class TestInspectionParadox:
+    def test_spread_stochastically_dominates(self):
+        """The degree seen by a random edge dominates a random degree."""
+        dist = DiscretePareto(1.7, 21.0).truncate(100)
+        spread = SpreadDistribution(dist)
+        xs = np.arange(1, 100, dtype=float)
+        assert np.all(spread.cdf(xs) <= dist.cdf(xs) + 1e-12)
+
+    def test_proposition_5_sampling(self, rng):
+        """Prop. 5: size-biased node picking converges to J."""
+        dist = DiscretePareto(1.7, 21.0).truncate(50)
+        spread = SpreadDistribution(dist)
+        draws = spread.sample(100_000, rng)
+        for x in [2, 5, 20]:
+            assert np.mean(draws <= x) == pytest.approx(
+                float(spread.cdf(float(x))), abs=0.01)
+
+
+class TestParetoClosedForm:
+    def test_eq19_matches_numeric_integral(self):
+        """J(x) of eq. (19) vs numeric int_0^x y f(y) dy / E[D]."""
+        alpha, beta = 1.8, 24.0
+        cont = ContinuousPareto(alpha, beta)
+        xs = np.linspace(0.1, 200.0, 9)
+        grid = np.linspace(0, 200.0, 400_001)
+        dens = grid * cont.pdf(grid)
+        cum = np.concatenate([[0], np.cumsum(
+            (dens[1:] + dens[:-1]) / 2 * np.diff(grid))])
+        for x in xs:
+            numeric = np.interp(x, grid, cum) / cont.mean()
+            assert pareto_spread_cdf(alpha, beta, x) == pytest.approx(
+                numeric, abs=1e-4)
+
+    def test_eq19_requires_alpha_above_one(self):
+        with pytest.raises(ValueError):
+            pareto_spread_cdf(1.0, 10.0, 5.0)
+
+    def test_tail_shape_alpha_minus_one(self):
+        """Section 4.1: the spread has Pareto-like tail alpha - 1."""
+        alpha, beta = 2.5, 10.0
+        x1, x2 = 1e5, 1e7
+        r = ((1 - pareto_spread_cdf(alpha, beta, x2))
+             / (1 - pareto_spread_cdf(alpha, beta, x1)))
+        assert r == pytest.approx((x2 / x1) ** (1 - alpha), rel=0.02)
+
+    def test_discrete_spread_approaches_continuous(self):
+        """Truncated discrete J_n tracks eq. (19) for moderate x."""
+        alpha, beta = 1.7, 21.0
+        dist = DiscretePareto(alpha, beta).truncate(100_000)
+        spread = SpreadDistribution(dist)
+        for x in [10.0, 50.0, 500.0]:
+            assert spread.cdf(x) == pytest.approx(
+                pareto_spread_cdf(alpha, beta, x), abs=0.02)
+
+
+class TestGeometricSpread:
+    def test_exponential_like_spread_is_erlang_like(self):
+        """Section 4.1 notes exponential D gives Erlang(2) spread; the
+        geometric analogue: P(S = k) ~ k (1-p)^(k-1) p^2-ish shape --
+        check the mode shifts right of 1."""
+        dist = GeometricDegree(0.2).truncate(200)
+        spread = SpreadDistribution(dist)
+        ks = np.arange(1, 201, dtype=float)
+        pmf = spread.pmf(ks)
+        assert int(ks[np.argmax(pmf)]) > 1  # mode moved off the minimum
+        assert np.sum(pmf) == pytest.approx(1.0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)

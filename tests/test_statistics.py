@@ -1,0 +1,77 @@
+"""Tests for the harness's uncertainty quantification."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import DescendingDegree, DiscretePareto, discrete_cost_model
+from repro.distributions import root_truncation
+from repro.experiments.harness import SimulationSpec
+from repro.experiments.statistics import CellEstimate, estimate_cell
+
+
+def _spec(n_sequences=5, n_graphs=3):
+    return SimulationSpec(
+        base_dist=DiscretePareto(1.7, 21.0),
+        truncation=root_truncation,
+        method="T1",
+        permutation=DescendingDegree(),
+        limit_map="descending",
+        n_sequences=n_sequences,
+        n_graphs=n_graphs,
+    )
+
+
+class TestCellEstimate:
+    def test_interval_arithmetic(self):
+        est = CellEstimate(mean=10.0, std_error=1.0,
+                           between_sequence_var=5.0,
+                           within_sequence_var=2.0,
+                           n_sequences=5, n_graphs=3)
+        lo, hi = est.confidence_interval()
+        assert lo == pytest.approx(10.0 - 1.96)
+        assert hi == pytest.approx(10.0 + 1.96)
+        assert est.contains(10.5)
+        assert not est.contains(13.0)
+
+    def test_estimate_fields(self, rng):
+        est = estimate_cell(_spec(), 800, rng)
+        assert est.mean > 0
+        assert est.std_error >= 0
+        assert est.between_sequence_var >= 0
+        assert est.within_sequence_var >= 0
+        assert est.n_sequences == 5
+
+    def test_estimates_self_consistent(self):
+        """Two independent estimates of the same cell agree within
+        their combined confidence intervals -- the CI captures the
+        Monte-Carlo noise (it does NOT cover the model's finite-n
+        bias, which Table 6 shows is a few percent at this n)."""
+        spec = _spec(n_sequences=6, n_graphs=3)
+        n = 1500
+        a = estimate_cell(spec, n, np.random.default_rng(1))
+        b = estimate_cell(spec, n, np.random.default_rng(2))
+        gap = abs(a.mean - b.mean)
+        combined = 4.0 * math.hypot(a.std_error, b.std_error)
+        assert gap <= combined
+
+    def test_mean_near_model(self, rng):
+        """The cell mean tracks the model to the usual few percent."""
+        spec = _spec(n_sequences=6, n_graphs=3)
+        n = 2000
+        est = estimate_cell(spec, n, rng)
+        model = discrete_cost_model(
+            spec.base_dist.truncate(root_truncation(n)), "T1",
+            "descending")
+        assert est.mean == pytest.approx(model, rel=0.12)
+
+    def test_single_sequence_zero_between(self, rng):
+        est = estimate_cell(_spec(n_sequences=1, n_graphs=3), 500, rng)
+        assert est.between_sequence_var == 0.0
+        assert est.std_error == 0.0
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(55)

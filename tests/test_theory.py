@@ -1,0 +1,92 @@
+"""Tests for the named closed-form limits (theory.py vs Algorithm 2)."""
+
+import math
+
+import pytest
+
+from repro import DiscretePareto, limit_cost
+from repro.core.theory import (
+    NAMED_LIMITS,
+    e1_descending_limit,
+    e1_round_robin_limit,
+    named_limit,
+    t1_ascending_limit,
+    t1_descending_limit,
+    t2_descending_limit,
+    t2_round_robin_limit,
+)
+from repro.distributions import ContinuousPareto
+
+CONT = ContinuousPareto(1.7, 21.0)
+DISC = DiscretePareto(1.7, 21.0)
+
+
+class TestAgainstDiscretePipeline:
+    """The continuous closed forms track Algorithm 2's discrete limits
+    up to the continuous-vs-discrete gap Table 5 quantifies (~2%)."""
+
+    @pytest.mark.parametrize("method,map_name", sorted(NAMED_LIMITS))
+    def test_finite_cases_agree(self, method, map_name):
+        continuous = named_limit(method, map_name, CONT)
+        discrete = limit_cost(DISC, method, map_name, eps=1e-4,
+                              t_max=1e14)
+        if math.isinf(continuous):
+            assert math.isinf(discrete)
+        else:
+            assert continuous == pytest.approx(discrete, rel=0.03)
+
+
+class TestStructuralIdentities:
+    def test_e1_is_t1_plus_t2_descending(self):
+        """(35) = (23) + (24)."""
+        assert e1_descending_limit(CONT) == pytest.approx(
+            t1_descending_limit(CONT) + t2_descending_limit(CONT),
+            rel=1e-6)
+
+    def test_t2_rr_is_half_e1_descending(self):
+        """(34) = (35) / 2."""
+        assert t2_round_robin_limit(CONT) == pytest.approx(
+            e1_descending_limit(CONT) / 2.0, rel=1e-9)
+
+    def test_rr_hurts_e1(self):
+        """(36) > (35): RR is the wrong order for E1 (section 5.3)."""
+        assert e1_round_robin_limit(CONT) > e1_descending_limit(CONT)
+
+
+class TestFiniteness:
+    def test_t1_ascending_diverges_below_two(self):
+        assert math.isinf(t1_ascending_limit(ContinuousPareto(1.9, 27.0)))
+        assert math.isfinite(
+            t1_ascending_limit(ContinuousPareto(2.1, 33.0)))
+
+    def test_t1_descending_threshold_four_thirds(self):
+        assert math.isinf(
+            t1_descending_limit(ContinuousPareto(1.3, 9.0)))
+        assert math.isfinite(
+            t1_descending_limit(ContinuousPareto(1.4, 12.0)))
+
+    def test_e1_rr_diverges_below_two(self):
+        assert math.isinf(e1_round_robin_limit(ContinuousPareto(1.7,
+                                                                21.0)))
+
+    def test_unknown_pair(self):
+        with pytest.raises(ValueError):
+            named_limit("E4", "descending", CONT)
+
+
+class TestBerryEtAlIdentity:
+    """Eq. (2) (prior work [9]) equals eq. (4) -- executable."""
+
+    @pytest.mark.parametrize("alpha", [1.8, 2.1, 2.5])
+    def test_eq2_matches_eq4(self, alpha):
+        from repro.core.theory import berry_et_al_limit
+        beta = 30.0 * (alpha - 1.0)
+        dist = DiscretePareto(alpha, beta)
+        via_eq2 = berry_et_al_limit(dist, t=10**6)
+        via_alg2 = limit_cost(dist, "T1", "descending", eps=1e-4)
+        assert via_eq2 == pytest.approx(via_alg2, rel=5e-3)
+
+    def test_eq2_rejects_insufficient_support(self):
+        from repro.core.theory import berry_et_al_limit
+        with pytest.raises(ValueError, match="too small"):
+            berry_et_al_limit(DiscretePareto(1.2, 6.0), t=1000)

@@ -1,0 +1,115 @@
+"""Tests for vertex iterators T1-T6 (section 2.2)."""
+
+import pytest
+
+from repro import (
+    DescendingDegree,
+    OrientedGraph,
+    list_triangles,
+    orient,
+)
+from repro.core.costs import cost_t1, cost_t2, cost_t3
+from repro.listing import run_vertex_iterator
+
+VERTEX_METHODS = ("T1", "T2", "T3", "T4", "T5", "T6")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("method", VERTEX_METHODS)
+    def test_single_triangle(self, triangle_graph, method):
+        oriented = OrientedGraph(triangle_graph, [0, 1, 2])
+        result = run_vertex_iterator(oriented, method)
+        assert result.count == 1
+        assert result.triangles == [(0, 1, 2)]
+
+    @pytest.mark.parametrize("method", VERTEX_METHODS)
+    def test_k4(self, k4_graph, method):
+        oriented = OrientedGraph(k4_graph, [0, 1, 2, 3])
+        result = run_vertex_iterator(oriented, method)
+        assert result.count == 4
+        assert result.triangle_set() == {(0, 1, 2), (0, 1, 3), (0, 2, 3),
+                                         (1, 2, 3)}
+
+    @pytest.mark.parametrize("method", VERTEX_METHODS)
+    def test_no_triangles(self, path_graph, method):
+        oriented = orient(path_graph, DescendingDegree())
+        assert run_vertex_iterator(oriented, method).count == 0
+
+    def test_triangles_are_ordered_triples(self, bowtie_graph):
+        oriented = orient(bowtie_graph, DescendingDegree())
+        result = run_vertex_iterator(oriented, "T1")
+        for x, y, z in result.triangles:
+            assert x < y < z
+
+    def test_collect_false_counts_only(self, k4_graph):
+        oriented = OrientedGraph(k4_graph, [0, 1, 2, 3])
+        result = run_vertex_iterator(oriented, "T1", collect=False)
+        assert result.count == 4
+        assert result.triangles is None
+        with pytest.raises(ValueError):
+            result.triangle_set()
+
+    def test_unknown_method(self, triangle_graph):
+        oriented = OrientedGraph(triangle_graph, [0, 1, 2])
+        with pytest.raises(ValueError):
+            run_vertex_iterator(oriented, "T7")
+
+
+class TestCostFormulas:
+    def test_t1_ops_formula(self, pareto_graph):
+        """Eq. (7): ops = sum X (X - 1) / 2."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        result = run_vertex_iterator(oriented, "T1")
+        assert result.ops == int(cost_t1(oriented.out_degrees))
+
+    def test_t2_ops_formula(self, pareto_graph):
+        """Eq. (8): ops = sum X Y."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        result = run_vertex_iterator(oriented, "T2")
+        assert result.ops == int(cost_t2(oriented.out_degrees,
+                                         oriented.in_degrees))
+
+    def test_t3_ops_formula(self, pareto_graph):
+        """Eq. (9): ops = sum Y (Y - 1) / 2."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        result = run_vertex_iterator(oriented, "T3")
+        assert result.ops == int(cost_t3(oriented.in_degrees))
+
+    def test_t4_t5_t6_costs_match_counterparts(self, pareto_graph):
+        """Figure 1: T4-T6 only reorder the last two visits."""
+        oriented = orient(pareto_graph, DescendingDegree())
+        for a, b in [("T1", "T4"), ("T2", "T5"), ("T3", "T6")]:
+            assert (run_vertex_iterator(oriented, a).ops
+                    == run_vertex_iterator(oriented, b).ops)
+
+    def test_hash_inserts_is_m(self, pareto_graph):
+        oriented = orient(pareto_graph, DescendingDegree())
+        result = run_vertex_iterator(oriented, "T1")
+        assert result.hash_inserts == pareto_graph.m
+
+    def test_per_node_cost(self, k4_graph):
+        oriented = OrientedGraph(k4_graph, [0, 1, 2, 3])
+        result = run_vertex_iterator(oriented, "T1")
+        # out-degrees 0,1,2,3 -> sum X(X-1)/2 = 0+0+1+3 = 4
+        assert result.ops == 4
+        assert result.per_node_cost == pytest.approx(1.0)
+
+
+class TestEquivalenceClasses:
+    def test_t1_t3_equivalence_under_reversal(self, pareto_graph):
+        """Figure 2: c_n(T1, theta) = c_n(T3, theta')."""
+        from repro import AscendingDegree, reverse_permutation
+        perm = AscendingDegree()
+        oriented = orient(pareto_graph, perm)
+        rev_oriented = orient(pareto_graph, reverse_permutation(perm))
+        assert (run_vertex_iterator(oriented, "T1").ops
+                == run_vertex_iterator(rev_oriented, "T3").ops)
+
+    def test_t2_self_reverse(self, pareto_graph):
+        """Figure 2: T2 and T5 reverse into each other (same cost)."""
+        from repro import AscendingDegree, reverse_permutation
+        perm = AscendingDegree()
+        oriented = orient(pareto_graph, perm)
+        rev_oriented = orient(pareto_graph, reverse_permutation(perm))
+        assert (run_vertex_iterator(oriented, "T2").ops
+                == run_vertex_iterator(rev_oriented, "T5").ops)
