@@ -6,14 +6,25 @@ tractable scale by default), prints them, and writes them to
 ``benchmarks/results/`` so the run leaves an artifact trail that
 EXPERIMENTS.md references.
 
+Each :func:`emit` call now leaves *three* artifacts: the rendered
+``<name>.txt`` table, a ``<name>.json`` sidecar (git revision,
+timestamp, scale flags), and one line appended to ``runs.jsonl`` -- a
+full :mod:`repro.obs` run record carrying the span trees (per-phase
+relabel/orient/list timings), the metrics snapshot, and the run config.
+
 Scale control: set ``REPRO_BENCH_FULL=1`` to use larger ``n`` grids and
 more Monte-Carlo instances (slower, closer to the paper's setup).
 """
 
 from __future__ import annotations
 
+import contextlib
+import json
 import os
 import pathlib
+import time
+
+from repro import obs
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -28,12 +39,54 @@ N_SEQUENCES = 8 if FULL else 3
 N_GRAPHS = 8 if FULL else 2
 
 
-def emit(name: str, text: str) -> None:
-    """Print a reproduction table and persist it under results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+def emit(name: str, text: str, results_dir=None,
+         config: dict | None = None) -> pathlib.Path:
+    """Print a reproduction table and persist it under results/.
+
+    Writes ``<name>.txt``, a ``<name>.json`` sidecar, and appends a
+    :class:`repro.obs.RunRecord` (collecting any finished spans and
+    the current metrics snapshot) to ``runs.jsonl`` in the same
+    directory. Returns the path of the ``.txt`` artifact so benches
+    can assert on it.
+    """
+    out_dir = pathlib.Path(results_dir) if results_dir else RESULTS_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
     print()
     print(text)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    path = out_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    sidecar = {
+        "name": name,
+        "artifact": path.name,
+        "git_rev": obs.git_revision(),
+        "created_unix": time.time(),
+        "full_scale": FULL,
+        "lines": text.count("\n") + 1,
+    }
+    (out_dir / f"{name}.json").write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
+    obs.record_run(name, config=config, path=out_dir / "runs.jsonl")
+    return path
+
+
+@contextlib.contextmanager
+def traced_run(name: str, **attrs):
+    """Enable the obs layer around a bench body under one root span.
+
+    For benches that assemble their tables by hand (rather than via
+    :func:`run_sim_table`): the next :func:`emit` call then finds the
+    finished span tree and metric counters and folds them into the
+    ``runs.jsonl`` record.
+    """
+    was_enabled = obs.is_enabled()
+    obs.enable()
+    obs.reset()
+    try:
+        with obs.span(name, **attrs):
+            yield
+    finally:
+        if not was_enabled:
+            obs.disable()
 
 
 def run_sim_table(name: str, title: str, base_dist, truncation, cells,
@@ -42,14 +95,37 @@ def run_sim_table(name: str, title: str, base_dist, truncation, cells,
 
     Thin wrapper over
     :func:`repro.experiments.paper_tables.simulation_table` that applies
-    the benchmark-suite scale knobs and persists the artifact. Returns
-    the assembled rows for assertions.
+    the benchmark-suite scale knobs, runs with the observability layer
+    enabled (so the ``runs.jsonl`` record carries per-phase
+    relabel/orient/list timings and the metric counters), and persists
+    the artifacts. Returns the assembled rows for assertions.
     """
     from repro.experiments.paper_tables import simulation_table
 
-    text, rows = simulation_table(
-        title, base_dist, truncation, cells,
-        sizes=sizes if sizes is not None else SIM_SIZES,
-        n_sequences=N_SEQUENCES, n_graphs=N_GRAPHS, seed=seed)
-    emit(name, text)
+    sizes = sizes if sizes is not None else SIM_SIZES
+    config = {
+        "table": name,
+        "title": title,
+        "seed": seed,
+        "sizes": list(sizes),
+        "n_sequences": N_SEQUENCES,
+        "n_graphs": N_GRAPHS,
+        "full_scale": FULL,
+        "cells": [{"label": label, "method": method,
+                   "permutation": type(perm).__name__,
+                   "limit_map": str(limit_map)}
+                  for label, method, perm, limit_map in cells],
+    }
+    was_enabled = obs.is_enabled()
+    obs.enable()
+    obs.reset()
+    try:
+        with obs.span("table", name=name, seed=seed):
+            text, rows = simulation_table(
+                title, base_dist, truncation, cells, sizes=sizes,
+                n_sequences=N_SEQUENCES, n_graphs=N_GRAPHS, seed=seed)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    emit(name, text, config=config)
     return rows

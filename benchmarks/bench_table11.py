@@ -16,7 +16,7 @@ from repro.core.weights import capped_weight, identity_weight
 from repro.distributions import linear_truncation
 from repro.experiments.harness import SimulationSpec, simulate_cost
 
-from _common import N_GRAPHS, N_SEQUENCES, SIM_SIZES, emit
+from _common import N_GRAPHS, N_SEQUENCES, SIM_SIZES, emit, traced_run
 
 DIST = DiscretePareto(alpha=1.2, beta=6.0)
 
@@ -34,6 +34,11 @@ def _expected_edge_count(n: int) -> float:
 
 
 def _run():
+    with traced_run("table11", seed=2017):
+        return _run_cells()
+
+
+def _run_cells():
     rng = np.random.default_rng(2017)
     table = {}
     for n in SIM_SIZES:

@@ -25,7 +25,7 @@ from repro.experiments.twitter import (
     twitter_like_graph,
 )
 
-from _common import FULL, emit
+from _common import FULL, emit, traced_run
 
 N = 100_000 if FULL else 30_000
 METHODS = ("T1", "T2", "E1", "E4")
@@ -33,8 +33,12 @@ METHODS = ("T1", "T2", "E1", "E4")
 
 def test_table12_reproduction(benchmark):
     graph = twitter_like_graph(n=N, alpha=1.7)
-    matrix = benchmark.pedantic(lambda: cost_matrix(graph),
-                                rounds=1, iterations=1)
+
+    def run():
+        with traced_run("table12", n=N, alpha=1.7):
+            return cost_matrix(graph)
+
+    matrix = benchmark.pedantic(run, rounds=1, iterations=1)
     emit("table12", format_matrix_table(
         f"Table 12: CPU operations on Twitter-like graph "
         f"(n={N}, m={graph.m})",

@@ -23,6 +23,9 @@ This package implements the paper end to end:
   (46)-(48).
 * ``repro.experiments`` -- the simulation harness and the table
   reproductions of section 7.
+* ``repro.obs`` -- observability: hierarchical spans, metric counters,
+  JSONL run records, and structured logging (all off by default; see
+  docs/OBSERVABILITY.md).
 
 Quickstart::
 
@@ -125,10 +128,13 @@ from repro.core import (
     cost_ratio_w,
 )
 from repro.pipeline import run_pipeline, optimal_order_for, PipelineReport
+from repro import obs
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # observability
+    "obs",
     # distributions
     "DegreeDistribution",
     "DiscretePareto",

@@ -8,6 +8,11 @@ Subcommands::
     repro limit      the n -> inf cost limit of a (method, permutation)
     repro decide     the SEI-vs-hash decision rule (section 2.4)
     repro regimes    finiteness classification across tail indices
+    repro profile    phase-time breakdown over a method/order grid
+
+Every subcommand accepts ``--trace`` (print the span tree and metric
+counters after the run; add ``--trace-memory`` for tracemalloc peaks).
+``repro --version`` prints the package version.
 
 Examples::
 
@@ -27,6 +32,7 @@ import sys
 
 import numpy as np
 
+from repro import obs
 from repro.core.decision import decide_in_limit, decide_on_graph
 from repro.core.fastmodel import fast_cost_model
 from repro.core.limits import limit_cost
@@ -206,15 +212,122 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """``repro profile``: run a method/order grid, report phase times.
+
+    Relabel + orient + list each (method, order) combination with the
+    observability layer enabled and print a per-phase wall-clock
+    breakdown built from the recorded span trees -- the same data the
+    JSONL run records carry. ``--record PATH`` appends the full record.
+    """
+    from repro.distributions.sampling import sample_degree_sequence
+    from repro.obs import records as obs_records
+
+    methods = [m.strip().upper() for m in args.methods.split(",")
+               if m.strip()]
+    orders = [o.strip().lower() for o in args.orders.split(",")
+              if o.strip()]
+    unknown = sorted(set(orders) - set(_ORDERS))
+    if unknown:
+        raise SystemExit(f"unknown order(s) {unknown}; choose from "
+                         f"{sorted(_ORDERS)}")
+    if args.graph:
+        graph = load_edge_list(args.graph)
+        source = args.graph
+    else:
+        rng = np.random.default_rng(args.seed)
+        dist_n = _dist_from_args(args).truncate(root_truncation(args.n))
+        degrees = sample_degree_sequence(dist_n, args.n, rng)
+        graph = generate_graph(degrees, rng)
+        source = f"synthetic Pareto(alpha={args.alpha}, seed={args.seed})"
+    was_enabled = obs.is_enabled()
+    obs.enable(memory=getattr(args, "trace_memory", False))
+    obs.spans.pop_finished()
+    rows = []
+    roots = []
+    for order in orders:
+        for method in methods:
+            rng = np.random.default_rng(args.seed)
+            with obs.span("profile", method=method, order=order):
+                oriented = orient(graph, _ORDERS[order](), rng=rng)
+                result = list_triangles(oriented, method, collect=False)
+            root = obs.pop_finished()[-1]
+            roots.append(root)
+            totals = root.phase_totals()
+            rows.append((method, order,
+                         totals.get("relabel", 0) / 1e6,
+                         totals.get("orient", 0) / 1e6,
+                         totals.get("list", 0) / 1e6,
+                         root.duration_ns / 1e6,
+                         result.ops, result.count))
+    if not was_enabled:
+        obs.disable()
+    print(f"phase breakdown on {source} (n={graph.n}, m={graph.m})")
+    print(f"{'method':>7} {'order':>11} {'relabel ms':>11} "
+          f"{'orient ms':>10} {'list ms':>10} {'total ms':>10} "
+          f"{'ops':>12} {'triangles':>10}")
+    for method, order, relabel, orient_ms, list_ms, total, ops, tri in rows:
+        print(f"{method:>7} {order:>11} {relabel:>11.3f} "
+              f"{orient_ms:>10.3f} {list_ms:>10.3f} {total:>10.3f} "
+              f"{ops:>12} {tri:>10}")
+    if args.record:
+        record = obs_records.collect(
+            "profile",
+            config={"source": source, "n": graph.n, "m": graph.m,
+                    "seed": args.seed, "methods": methods,
+                    "orders": orders},
+            spans=roots)
+        path = obs_records.write_record(record, args.record)
+        print(f"\nrun record appended to {path}")
+    return 0
+
+
+def _package_version() -> str:
+    """Installed package version, falling back to the module constant."""
+    try:
+        from importlib.metadata import version
+        return version("repro")
+    except Exception:
+        import repro
+        return getattr(repro, "__version__", "unknown")
+
+
+def _print_trace() -> None:
+    """Print collected span trees and counters after a traced run."""
+    roots = obs.pop_finished()
+    if roots:
+        print("\n-- trace " + "-" * 31)
+        for root in roots:
+            print(obs.format_span_tree(root))
+    counters = obs.metrics_snapshot().get("counters", {})
+    if counters:
+        print("-- metrics " + "-" * 29)
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Assemble the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Triangle-listing cost analysis (PODS 2017 "
                     "reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_package_version()}")
+    trace_parent = argparse.ArgumentParser(add_help=False)
+    trace_parent.add_argument(
+        "--trace", action="store_true",
+        help="record spans/metrics and print them after the run "
+             "(also enabled by REPRO_TRACE=1)")
+    trace_parent.add_argument(
+        "--trace-memory", action="store_true",
+        help="with --trace: track peak memory via tracemalloc")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("generate", help="sample and realize a random graph")
+    def add_parser(name, **kwargs):
+        return sub.add_parser(name, parents=[trace_parent], **kwargs)
+
+    p = add_parser("generate", help="sample and realize a random graph")
     _add_dist_args(p)
     p.add_argument("--n", type=int, required=True)
     p.add_argument("--truncation", choices=("linear", "root"),
@@ -225,7 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True, help="edge-list output path")
     p.set_defaults(func=cmd_generate)
 
-    p = sub.add_parser("triangles", help="orient and list triangles")
+    p = add_parser("triangles", help="orient and list triangles")
     p.add_argument("--graph", required=True, help="edge-list path")
     p.add_argument("--method", default="E1",
                    help="T1-T6, E1-E6, or L1-L6")
@@ -234,7 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_triangles)
 
-    p = sub.add_parser("model", help="evaluate the discrete model (50)")
+    p = add_parser("model", help="evaluate the discrete model (50)")
     _add_dist_args(p)
     p.add_argument("--n", type=int, required=True)
     p.add_argument("--method", default="T1")
@@ -247,14 +360,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eps", type=float, default=1e-5)
     p.set_defaults(func=cmd_model)
 
-    p = sub.add_parser("limit", help="the n -> inf cost limit")
+    p = add_parser("limit", help="the n -> inf cost limit")
     _add_dist_args(p)
     p.add_argument("--method", default="T1")
     p.add_argument("--map", default="descending",
                    choices=sorted(_ORDER_TO_MAP.values()))
     p.set_defaults(func=cmd_limit)
 
-    p = sub.add_parser("decide", help="SEI vs hash decision rule")
+    p = add_parser("decide", help="SEI vs hash decision rule")
     p.add_argument("--graph", default=None,
                    help="edge-list path (omit to decide in the limit)")
     p.add_argument("--alpha", type=float, default=1.7)
@@ -264,31 +377,68 @@ def build_parser() -> argparse.ArgumentParser:
                         "the paper's 94.8)")
     p.set_defaults(func=cmd_decide)
 
-    p = sub.add_parser("regimes", help="finiteness regimes over alpha")
+    p = add_parser("regimes", help="finiteness regimes over alpha")
     p.add_argument("alphas", nargs="+",
                    help="tail indices to classify, e.g. 1.3 1.4 1.6 2.1")
     p.set_defaults(func=cmd_regimes)
 
-    p = sub.add_parser("predict",
+    p = add_parser("predict",
                        help="predict + measure per-method cost from an "
                             "edge list")
     p.add_argument("--graph", required=True, help="edge-list path")
     p.set_defaults(func=cmd_predict)
 
-    p = sub.add_parser("table",
+    p = add_parser("table",
                        help="regenerate the paper's evaluation tables")
     p.add_argument("names", nargs="*",
                    help="subset, e.g. table05 table12 (default: all)")
     p.add_argument("--out", default="reproduction")
     p.add_argument("--full", action="store_true")
     p.set_defaults(func=cmd_table)
+
+    p = add_parser("profile",
+                   help="phase-time breakdown over a method/order grid")
+    p.add_argument("--graph", default=None,
+                   help="edge-list path (omit to profile a synthetic "
+                        "graph)")
+    p.add_argument("--n", type=int, default=3000,
+                   help="synthetic graph size (ignored with --graph)")
+    p.add_argument("--alpha", type=float, default=1.7,
+                   help="synthetic Pareto tail index")
+    p.add_argument("--beta", type=float, default=None,
+                   help="Pareto scale (default: 30 (alpha - 1))")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--methods", default="T1,T2,E1,E4,L1,L3",
+                   help="comma-separated listing methods")
+    p.add_argument("--orders", default="descending",
+                   help="comma-separated orderings "
+                        f"({', '.join(sorted(_ORDERS))})")
+    p.add_argument("--record", default=None, metavar="PATH",
+                   help="also append the full run record to this JSONL "
+                        "file")
+    p.set_defaults(func=cmd_profile)
     return parser
 
 
 def main(argv=None) -> int:
-    """Entry point: parse arguments and dispatch."""
+    """Entry point: parse arguments and dispatch.
+
+    ``--trace`` (or ``REPRO_TRACE=1``) enables the observability layer
+    for the dispatched subcommand and prints the recorded span trees
+    and metric counters afterwards.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace = getattr(args, "trace", False)
+    if trace:
+        obs.enable(memory=getattr(args, "trace_memory", False))
+        obs.spans.pop_finished()
+    else:
+        trace = obs.enable_from_env()
+    rc = args.func(args)
+    if trace:
+        _print_trace()
+        obs.disable()
+    return rc
 
 
 if __name__ == "__main__":

@@ -11,6 +11,9 @@ listers' ``ops`` equal those formulas identically (verified in tests).
 
 from __future__ import annotations
 
+import logging
+import math
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -23,8 +26,26 @@ from repro.core.weights import identity_weight
 from repro.distributions.base import DegreeDistribution
 from repro.distributions.sampling import sample_degree_sequence
 from repro.graphs.generators import generate_graph
+from repro.obs import metrics as _metrics
+from repro.obs.logging import get_logger, log_event
+from repro.obs.spans import span
 from repro.orientations.permutations import Permutation
 from repro.orientations.relabel import orient
+
+_log = get_logger(__name__)
+
+#: Default |model/sim - 1| beyond which a cell logs a divergence
+#: warning; override with the ``REPRO_MODEL_ERROR_WARN`` env variable.
+MODEL_ERROR_WARN_DEFAULT = 0.25
+
+
+def model_error_warn_threshold() -> float:
+    """The active divergence-warning threshold (env-overridable)."""
+    raw = os.environ.get("REPRO_MODEL_ERROR_WARN", "")
+    try:
+        return float(raw)
+    except ValueError:
+        return MODEL_ERROR_WARN_DEFAULT
 
 
 @dataclass
@@ -71,14 +92,29 @@ def simulate_cost(spec: SimulationSpec, n: int,
     """Monte-Carlo estimate of ``E[c_n(M, theta_n)]`` at size ``n``."""
     dist_n = spec.base_dist.truncate(spec.truncation(n))
     costs = []
-    for __ in range(spec.n_sequences):
-        degrees = sample_degree_sequence(dist_n, n, rng)
-        for __ in range(spec.n_graphs):
-            graph = generate_graph(degrees, rng, method=spec.generator)
-            oriented = orient(graph, spec.permutation, rng=rng,
-                              tie_break=spec.tie_break)
-            costs.append(per_node_cost(spec.method, oriented.out_degrees,
-                                       oriented.in_degrees))
+    with span("cell", method=spec.method,
+              permutation=type(spec.permutation).__name__, n=n):
+        for seq in range(spec.n_sequences):
+            with span("sequence", index=seq):
+                with span("sample", n=n):
+                    degrees = sample_degree_sequence(dist_n, n, rng)
+                for __ in range(spec.n_graphs):
+                    graph = generate_graph(degrees, rng,
+                                           method=spec.generator)
+                    oriented = orient(graph, spec.permutation, rng=rng,
+                                      tie_break=spec.tie_break)
+                    with span("list", method=spec.method):
+                        costs.append(per_node_cost(
+                            spec.method, oriented.out_degrees,
+                            oriented.in_degrees))
+            if _log.isEnabledFor(logging.DEBUG):
+                log_event(_log, logging.DEBUG, "monte-carlo progress",
+                          method=spec.method,
+                          permutation=type(spec.permutation).__name__,
+                          n=n, sequence=seq + 1,
+                          of=spec.n_sequences,
+                          graphs_per_sequence=spec.n_graphs)
+    _metrics.inc("harness.instances", len(costs))
     return float(np.mean(costs))
 
 
@@ -95,11 +131,21 @@ def simulated_vs_model(spec: SimulationSpec, n: int,
     """Return ``(sim, model, relative_error)`` for one cell.
 
     ``relative_error = model / sim - 1`` matches the sign convention of
-    the paper's tables (negative = model underestimates).
+    the paper's tables (negative = model underestimates). Cells whose
+    absolute relative error exceeds :func:`model_error_warn_threshold`
+    log a structured WARNING instead of diverging silently.
     """
     sim = simulate_cost(spec, n, rng)
     model = model_cost(spec, n)
     error = model / sim - 1.0 if sim else float("nan")
+    threshold = model_error_warn_threshold()
+    if math.isfinite(error) and abs(error) > threshold:
+        _metrics.inc("harness.divergent_cells")
+        log_event(_log, logging.WARNING, "model-simulation divergence",
+                  method=spec.method,
+                  permutation=type(spec.permutation).__name__,
+                  n=n, sim=sim, model=model, relative_error=error,
+                  threshold=threshold)
     return sim, model, error
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.costs import total_cost
+from repro.obs.spans import span
 from repro.distributions.pareto import DiscretePareto
 from repro.distributions.sampling import sample_degree_sequence
 from repro.graphs.generators import generate_graph
@@ -78,8 +79,10 @@ def cost_matrix(graph, methods=("T1", "T2", "E1", "E4"),
         perm = _PERMUTATIONS[perm_name]
         oriented = orient(graph, perm, rng=rng, tie_break="stable")
         for row, method in enumerate(methods):
-            matrix[row, col] = total_cost(method, oriented.out_degrees,
-                                          oriented.in_degrees)
+            with span("list", method=method, permutation=perm_name):
+                matrix[row, col] = total_cost(method,
+                                              oriented.out_degrees,
+                                              oriented.in_degrees)
     return matrix
 
 

@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.graphs.fenwick import FenwickTree
 from repro.graphs.graph import Graph
+from repro.obs import metrics as _metrics
+from repro.obs.spans import span
 
 
 def configuration_model(degrees, rng: np.random.Generator,
@@ -56,6 +58,11 @@ def configuration_model(degrees, rng: np.random.Generator,
     keys = lo * np.int64(degrees.size) + hi
     __, unique_idx = np.unique(keys, return_index=True)
     edges = np.column_stack([lo[unique_idx], hi[unique_idx]])
+    if _metrics.is_enabled():
+        # stub pairs dropped as self-loops or duplicates: the degree
+        # deficit discussed in section 7.2
+        _metrics.inc("generator.rejections",
+                     int(pairs.shape[0] - edges.shape[0]))
     return Graph(degrees.size, edges)
 
 
@@ -124,6 +131,10 @@ def residual_degree_model(degrees, rng: np.random.Generator,
     # residual is still positive; repair any leftovers
     leftovers = _leftover_stubs(residual)
     if leftovers:
+        if _metrics.is_enabled():
+            # stubs the residual process could not place directly;
+            # each is resolved by a degree-preserving swap below
+            _metrics.inc("generator.swap_repaired_stubs", len(leftovers))
         try:
             _swap_repair(leftovers, adjacency, edges, rng,
                          max_swap_attempts)
@@ -132,6 +143,7 @@ def residual_degree_model(degrees, rng: np.random.Generator,
             # node's neighborhood) are rare but real for alpha near 1
             # under linear truncation; fall back to a guaranteed
             # construction: Havel-Hakimi + double-edge-swap mixing
+            _metrics.inc("generator.havel_hakimi_fallbacks")
             return havel_hakimi_graph(degrees, rng)
     return Graph(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
 
@@ -183,12 +195,17 @@ def generate_graph(degrees, rng: np.random.Generator,
     ``"residual"`` (default) realizes the sequence exactly;
     ``"configuration"`` is the classic stub matcher with simplification.
     """
-    if method == "residual":
-        return residual_degree_model(degrees, rng)
-    if method == "configuration":
-        return configuration_model(degrees, rng)
-    raise ValueError(
-        f"unknown generator {method!r}; use 'residual' or 'configuration'")
+    with span("generate", method=method) as sp:
+        if method == "residual":
+            graph = residual_degree_model(degrees, rng)
+        elif method == "configuration":
+            graph = configuration_model(degrees, rng)
+        else:
+            raise ValueError(
+                f"unknown generator {method!r}; use 'residual' or "
+                f"'configuration'")
+        sp.annotate(n=graph.n, m=graph.m)
+    return graph
 
 
 def _validate_degrees(degrees: np.ndarray) -> None:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.listing.base import ListingResult
+from repro.listing.base import ListingResult, publish_result_metrics
 from repro.listing.vertex_iterator import run_vertex_iterator, VERTEX_ITERATORS
 from repro.listing.edge_iterator import (
     run_edge_iterator,
@@ -12,6 +12,7 @@ from repro.listing.lookup_iterator import (
     run_lookup_iterator,
     LOOKUP_EDGE_ITERATORS,
 )
+from repro.obs.spans import span
 
 #: Every implemented listing method, grouped by family.
 ALL_METHODS = (VERTEX_ITERATORS + SCANNING_EDGE_ITERATORS
@@ -34,14 +35,19 @@ def list_triangles(oriented, method: str = "E1",
         print(result.count, result.per_node_cost)
     """
     method = method.upper()
-    if method in VERTEX_ITERATORS:
-        return run_vertex_iterator(oriented, method, collect)
-    if method in SCANNING_EDGE_ITERATORS:
-        return run_edge_iterator(oriented, method, collect)
-    if method in LOOKUP_EDGE_ITERATORS:
-        return run_lookup_iterator(oriented, method, collect)
-    raise ValueError(
-        f"unknown method {method!r}; choose from {ALL_METHODS}")
+    with span("list", method=method, n=oriented.n) as sp:
+        if method in VERTEX_ITERATORS:
+            result = run_vertex_iterator(oriented, method, collect)
+        elif method in SCANNING_EDGE_ITERATORS:
+            result = run_edge_iterator(oriented, method, collect)
+        elif method in LOOKUP_EDGE_ITERATORS:
+            result = run_lookup_iterator(oriented, method, collect)
+        else:
+            raise ValueError(
+                f"unknown method {method!r}; choose from {ALL_METHODS}")
+        sp.annotate(ops=result.ops, triangles=result.count)
+    publish_result_metrics(result)
+    return result
 
 
 def count_triangles(oriented, method: str = "E1") -> int:

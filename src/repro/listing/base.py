@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import metrics as _metrics
+
 
 @dataclass
 class ListingResult:
@@ -57,6 +59,23 @@ class ListingResult:
             raise ValueError(
                 "triangles were not collected; rerun with collect=True")
         return set(self.triangles)
+
+
+def publish_result_metrics(result: ListingResult) -> None:
+    """Publish a run's counters into :mod:`repro.obs.metrics`.
+
+    A no-op while observability is disabled, so the counters the
+    listers *return* stay the single source of truth and the hot path
+    costs one flag check.
+    """
+    if not _metrics.is_enabled():
+        return
+    _metrics.inc("lister.runs")
+    _metrics.inc("lister.ops", result.ops)
+    _metrics.inc("lister.comparisons", result.comparisons)
+    _metrics.inc("lister.hash_inserts", result.hash_inserts)
+    _metrics.inc("lister.triangles", result.count)
+    _metrics.observe("lister.per_node_cost", result.per_node_cost)
 
 
 def intersect_sorted(a, b):

@@ -1,0 +1,119 @@
+"""Observability: spans, metrics, run records, and structured logging.
+
+The paper is a *cost model* -- this subpackage makes the reproduction's
+actual costs observable. Four small layers, all off by default and
+near-free when disabled:
+
+* :mod:`repro.obs.spans` -- hierarchical wall-clock timers
+  (``with span("orient"): ...``) with optional tracemalloc peaks.
+* :mod:`repro.obs.metrics` -- process-local named counters / gauges /
+  histograms the instrumented code publishes into (``lister.ops``,
+  ``orient.edges_flipped``, ``generator.rejections``, ...).
+* :mod:`repro.obs.records` -- JSONL run records bundling span trees,
+  metric snapshots, run config, and git/python metadata.
+* :mod:`repro.obs.logging` -- structured stdlib logging with the
+  ``REPRO_LOG`` env knob.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()                  # or REPRO_TRACE=1 + enable_from_env()
+    ...run the pipeline...
+    for root in obs.pop_finished():
+        print(obs.format_span_tree(root))
+    obs.record_run("my-run", config={"seed": 7})
+    obs.disable()
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs import logging as obs_logging
+from repro.obs import metrics, records, spans
+from repro.obs.logging import get_logger, log_event, setup as setup_logging
+from repro.obs.records import (RunRecord, collect, git_revision,
+                               listing_result_from_dict,
+                               listing_result_to_dict, load_records,
+                               record_run, write_record)
+from repro.obs.spans import (Span, current_span, format_span_tree,
+                             pop_finished, span)
+
+__all__ = [
+    "RunRecord",
+    "Span",
+    "collect",
+    "current_span",
+    "disable",
+    "enable",
+    "enable_from_env",
+    "format_span_tree",
+    "get_logger",
+    "git_revision",
+    "is_enabled",
+    "listing_result_from_dict",
+    "listing_result_to_dict",
+    "load_records",
+    "log_event",
+    "metrics",
+    "metrics_snapshot",
+    "obs_logging",
+    "pop_finished",
+    "record_run",
+    "records",
+    "reset",
+    "reset_metrics",
+    "setup_logging",
+    "span",
+    "spans",
+    "write_record",
+]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def enable(memory: bool = False) -> None:
+    """Enable span collection and metric publication together."""
+    spans.enable(memory=memory)
+    metrics.enable()
+
+
+def disable() -> None:
+    """Disable span collection and metric publication."""
+    spans.disable()
+    metrics.disable()
+
+
+def is_enabled() -> bool:
+    """Whether the observability layer is currently recording."""
+    return spans.is_enabled() or metrics.is_enabled()
+
+
+def enable_from_env() -> bool:
+    """Enable when ``REPRO_TRACE`` is truthy; returns the decision.
+
+    ``REPRO_TRACE_MEMORY=1`` additionally turns on tracemalloc peaks.
+    """
+    if os.environ.get("REPRO_TRACE", "").strip().lower() in _TRUTHY:
+        memory = (os.environ.get("REPRO_TRACE_MEMORY", "")
+                  .strip().lower() in _TRUTHY)
+        enable(memory=memory)
+        return True
+    return False
+
+
+def reset() -> None:
+    """Clear finished spans, the open stack, and every metric."""
+    spans.reset()
+    metrics.reset()
+
+
+def metrics_snapshot() -> dict:
+    """Shortcut for :func:`repro.obs.metrics.snapshot`."""
+    return metrics.snapshot()
+
+
+def reset_metrics() -> None:
+    """Shortcut for :func:`repro.obs.metrics.reset`."""
+    metrics.reset()

@@ -1,0 +1,116 @@
+"""Structured stdlib-logging setup with the ``REPRO_LOG`` env knob.
+
+The library logs under the ``repro`` logger hierarchy. Nothing is
+printed unless the embedding application configures logging *or* the
+environment variable ``REPRO_LOG`` names a level (``debug``, ``info``,
+``warning``, ``error``, ``critical``) -- then :func:`setup` attaches a
+stderr handler with a structured ``key=value`` formatter.
+
+Emit structured events with :func:`log_event`::
+
+    log_event(logger, logging.WARNING, "model-simulation divergence",
+              method="T1", n=10_000, relative_error=0.31)
+
+which renders as::
+
+    12:00:01 WARNING repro.experiments.harness: model-simulation \
+divergence method=T1 n=10000 relative_error=0.31
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = [
+    "ROOT_LOGGER",
+    "StructuredFormatter",
+    "get_logger",
+    "log_event",
+    "setup",
+]
+
+ROOT_LOGGER = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "warn": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+_configured = False
+
+
+class StructuredFormatter(logging.Formatter):
+    """``time LEVEL logger: message key=value ...`` single-line records."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render the record, appending ``record.fields`` as key=value."""
+        base = (f"{self.formatTime(record, '%H:%M:%S')} "
+                f"{record.levelname:<7} {record.name}: "
+                f"{record.getMessage()}")
+        fields = getattr(record, "fields", None)
+        if fields:
+            base += " " + " ".join(
+                f"{key}={_format_value(value)}"
+                for key, value in fields.items())
+        if record.exc_info:
+            base += "\n" + self.formatException(record.exc_info)
+        return base
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    return repr(text) if " " in text else text
+
+
+def setup(level: int | str | None = None, stream=None,
+          force: bool = False) -> logging.Logger:
+    """Configure the ``repro`` logger once; returns it.
+
+    ``level`` overrides the ``REPRO_LOG`` environment variable; with
+    neither present the level is WARNING (so the harness divergence
+    warnings surface by default while progress logs stay silent).
+    Re-invoking is a no-op unless ``force=True``.
+    """
+    global _configured
+    logger = logging.getLogger(ROOT_LOGGER)
+    if _configured and not force:
+        return logger
+    if level is None:
+        env = os.environ.get("REPRO_LOG", "").strip().lower()
+        level = _LEVELS.get(env, logging.WARNING)
+    elif isinstance(level, str):
+        level = _LEVELS.get(level.strip().lower(), logging.WARNING)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(StructuredFormatter())
+    handler.set_name("repro-obs")
+    logger.handlers = [h for h in logger.handlers
+                       if h.get_name() != "repro-obs"]
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    _configured = True
+    return logger
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy, configuring it lazily."""
+    setup()
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if not name.startswith(ROOT_LOGGER):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def log_event(logger: logging.Logger, level: int, event: str,
+              **fields) -> None:
+    """Log ``event`` with structured ``key=value`` fields attached."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"fields": fields})

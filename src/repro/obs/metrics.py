@@ -1,0 +1,170 @@
+"""Process-local registry of named counters, gauges, and histograms.
+
+The instrumented listers, orienter, generators, and harness *publish*
+into this registry (``lister.ops``, ``orient.edges_flipped``,
+``generator.rejections``, ...) in addition to returning their counters
+via :class:`~repro.listing.base.ListingResult` -- so a whole benchmark
+run can be summarized without threading result objects through every
+layer.
+
+Like :mod:`repro.obs.spans`, publication is disabled by default and the
+disabled path is one module-global check (:func:`inc` & friends return
+immediately), keeping the hot paths bit-identical in behavior and
+essentially free of overhead. All registry operations are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "disable",
+    "enable",
+    "inc",
+    "is_enabled",
+    "observe",
+    "registry",
+    "reset",
+    "set_gauge",
+    "snapshot",
+]
+
+_enabled = False
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the streaming summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> dict:
+        """JSON-ready summary; empty histograms report ``count = 0``."""
+        if self.count == 0:
+            return {"count": 0}
+        return {"count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max,
+                "mean": self.total / self.count}
+
+
+class MetricsRegistry:
+    """Thread-safe map of counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the counter ``name`` (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest ``value``."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the histogram ``name``."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """JSON-ready snapshot of every metric."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {name: h.summary()
+                               for name, h in self._histograms.items()},
+            }
+
+    def reset(self) -> None:
+        """Drop every metric."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry instance."""
+    return _registry
+
+
+def enable() -> None:
+    """Turn metric publication on."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn metric publication off (existing values are kept)."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether :func:`inc`/:func:`set_gauge`/:func:`observe` publish."""
+    return _enabled
+
+
+def inc(name: str, value: float = 1) -> None:
+    """Increment a counter -- no-op while publication is disabled."""
+    if not _enabled:
+        return
+    _registry.inc(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge -- no-op while publication is disabled."""
+    if not _enabled:
+        return
+    _registry.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Observe into a histogram -- no-op while publication is disabled."""
+    if not _enabled:
+        return
+    _registry.observe(name, value)
+
+
+def snapshot() -> dict:
+    """Snapshot the registry (works regardless of the enabled flag)."""
+    return _registry.snapshot()
+
+
+def reset() -> None:
+    """Clear the registry (works regardless of the enabled flag)."""
+    _registry.reset()

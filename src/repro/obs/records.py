@@ -1,0 +1,215 @@
+"""JSONL run records: machine-readable trail of every measured run.
+
+A :class:`RunRecord` bundles what a benchmark or experiment just did --
+the finished span trees, a metrics snapshot, the run configuration
+(method, permutation, n, seed, ...) and environment metadata (git
+revision, python version, wall-clock timestamp) -- and appends it as
+one JSON line to a ``runs.jsonl`` sink (default
+``benchmarks/results/runs.jsonl``, overridable via the
+``REPRO_RUNS_FILE`` environment variable or an explicit path).
+
+The serializer is numpy-aware (:func:`json_default`) and also
+round-trips :class:`~repro.listing.base.ListingResult` objects via
+:func:`listing_result_to_dict` / :func:`listing_result_from_dict`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+
+__all__ = [
+    "DEFAULT_RUNS_PATH",
+    "RunRecord",
+    "collect",
+    "git_revision",
+    "json_default",
+    "listing_result_from_dict",
+    "listing_result_to_dict",
+    "load_records",
+    "record_run",
+    "runs_path",
+    "write_record",
+]
+
+DEFAULT_RUNS_PATH = pathlib.Path("benchmarks") / "results" / "runs.jsonl"
+
+_git_rev_cache: str | None = None
+_git_rev_known = False
+
+
+def runs_path(path=None) -> pathlib.Path:
+    """Resolve the JSONL sink: explicit arg > ``REPRO_RUNS_FILE`` > default."""
+    if path is not None:
+        return pathlib.Path(path)
+    env = os.environ.get("REPRO_RUNS_FILE", "").strip()
+    return pathlib.Path(env) if env else DEFAULT_RUNS_PATH
+
+
+def git_revision() -> str | None:
+    """Short git revision of the repo containing this package, if any."""
+    global _git_rev_cache, _git_rev_known
+    if _git_rev_known:
+        return _git_rev_cache
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=pathlib.Path(__file__).resolve().parent)
+        _git_rev_cache = (proc.stdout.strip()
+                          if proc.returncode == 0 and proc.stdout.strip()
+                          else None)
+    except (OSError, subprocess.SubprocessError):
+        _git_rev_cache = None
+    _git_rev_known = True
+    return _git_rev_cache
+
+
+def json_default(obj):
+    """``json.dumps`` fallback handling numpy scalars/arrays and more."""
+    if hasattr(obj, "item") and not isinstance(obj, dict):
+        try:
+            return obj.item()  # numpy scalar
+        except (TypeError, ValueError):
+            pass
+    if hasattr(obj, "tolist"):
+        return obj.tolist()  # numpy array
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    if isinstance(obj, pathlib.Path):
+        return str(obj)
+    return str(obj)
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """One machine-readable run: spans + metrics + config + metadata."""
+
+    name: str
+    config: dict = dataclasses.field(default_factory=dict)
+    spans: list = dataclasses.field(default_factory=list)
+    metrics: dict = dataclasses.field(default_factory=dict)
+    meta: dict = dataclasses.field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Serialize to one JSON line (no trailing newline)."""
+        return json.dumps(dataclasses.asdict(self), default=json_default)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        return cls(name=data.get("name", ""),
+                   config=data.get("config", {}) or {},
+                   spans=data.get("spans", []) or [],
+                   metrics=data.get("metrics", {}) or {},
+                   meta=data.get("meta", {}) or {})
+
+    def phase_totals(self) -> dict[str, int]:
+        """Aggregate ``duration_ns`` by span name over all span trees."""
+        totals: dict[str, int] = {}
+
+        def walk(node: dict) -> None:
+            name = node.get("name", "?")
+            totals[name] = totals.get(name, 0) + int(
+                node.get("duration_ns", 0))
+            for child in node.get("children", ()):
+                walk(child)
+
+        for root in self.spans:
+            walk(root)
+        return totals
+
+
+def collect(name: str, config: dict | None = None,
+            spans=None) -> RunRecord:
+    """Assemble a record from the current obs state.
+
+    Drains :func:`repro.obs.spans.pop_finished` unless an explicit list
+    of :class:`~repro.obs.spans.Span` objects (or span dicts) is given,
+    and snapshots the metrics registry.
+    """
+    if spans is None:
+        spans = _spans.pop_finished()
+    span_dicts = [s.to_dict() if hasattr(s, "to_dict") else s
+                  for s in spans]
+    return RunRecord(
+        name=name,
+        config=dict(config or {}),
+        spans=span_dicts,
+        metrics=_metrics.snapshot(),
+        meta={
+            "git_rev": git_revision(),
+            "python": sys.version.split()[0],
+            "timestamp_unix": time.time(),
+        },
+    )
+
+
+def write_record(record: RunRecord, path=None) -> pathlib.Path:
+    """Append ``record`` as one JSONL line; returns the sink path."""
+    sink = runs_path(path)
+    sink.parent.mkdir(parents=True, exist_ok=True)
+    with open(sink, "a", encoding="utf-8") as fh:
+        fh.write(record.to_json() + "\n")
+    return sink
+
+
+def record_run(name: str, config: dict | None = None,
+               path=None) -> pathlib.Path:
+    """:func:`collect` + :func:`write_record` in one call."""
+    return write_record(collect(name, config), path)
+
+
+def load_records(path=None) -> list[RunRecord]:
+    """Parse every record in the sink (missing file = empty list)."""
+    sink = runs_path(path)
+    if not sink.exists():
+        return []
+    out = []
+    for line in sink.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            out.append(RunRecord.from_dict(json.loads(line)))
+    return out
+
+
+def listing_result_to_dict(result) -> dict:
+    """JSON-ready dict of a :class:`ListingResult` (lossless)."""
+    return {
+        "method": result.method,
+        "count": int(result.count),
+        "triangles": ([list(t) for t in result.triangles]
+                      if result.triangles is not None else None),
+        "ops": int(result.ops),
+        "comparisons": int(result.comparisons),
+        "hash_inserts": int(result.hash_inserts),
+        "n": int(result.n),
+        "extra": dict(result.extra),
+    }
+
+
+def listing_result_from_dict(data: dict):
+    """Inverse of :func:`listing_result_to_dict`."""
+    from repro.listing.base import ListingResult
+    triangles = data.get("triangles")
+    if triangles is not None:
+        triangles = [tuple(t) for t in triangles]
+    return ListingResult(
+        method=data["method"],
+        count=int(data.get("count", 0)),
+        triangles=triangles,
+        ops=int(data.get("ops", 0)),
+        comparisons=int(data.get("comparisons", 0)),
+        hash_inserts=int(data.get("hash_inserts", 0)),
+        n=int(data.get("n", 0)),
+        extra=dict(data.get("extra") or {}),
+    )

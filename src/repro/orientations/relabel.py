@@ -11,6 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.digraph import OrientedGraph
+from repro.obs import metrics as _metrics
+from repro.obs.spans import span
 from repro.orientations.permutations import Permutation
 
 
@@ -55,5 +57,21 @@ def orient(graph, permutation: Permutation,
     points from the larger label to the smaller. Random permutations
     (``UniformRandom``) and random tie-breaking require ``rng``.
     """
-    labels = permutation.labels_for(graph, rng=rng, tie_break=tie_break)
-    return OrientedGraph(graph, labels)
+    with span("relabel", permutation=type(permutation).__name__,
+              n=graph.n):
+        labels = permutation.labels_for(graph, rng=rng,
+                                        tie_break=tie_break)
+    with span("orient", n=graph.n, m=graph.m):
+        oriented = OrientedGraph(graph, labels)
+        if _metrics.is_enabled():
+            edges = graph.edges
+            # an edge (u, v) with u < v is "flipped" when the smaller
+            # vertex ID receives the larger label, i.e. the orientation
+            # reverses the ID order
+            flipped = (int(np.count_nonzero(
+                labels[edges[:, 0]] > labels[edges[:, 1]]))
+                if graph.m else 0)
+            _metrics.inc("orient.runs")
+            _metrics.inc("orient.edges", graph.m)
+            _metrics.inc("orient.edges_flipped", flipped)
+    return oriented

@@ -1,0 +1,81 @@
+"""Tests for the benchmark-suite shared helpers (``benchmarks/_common``)."""
+
+import importlib
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro import obs
+
+BENCHMARKS_DIR = pathlib.Path(__file__).resolve().parents[1] / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def common():
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        module = importlib.import_module("_common")
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+    return module
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def test_emit_returns_path_and_creates_dirs(common, tmp_path, capsys):
+    target = tmp_path / "nested" / "results"  # does not exist yet
+    path = common.emit("unit_table", "row one\nrow two",
+                       results_dir=target)
+    assert path == target / "unit_table.txt"
+    assert path.read_text() == "row one\nrow two\n"
+    assert "row one" in capsys.readouterr().out
+
+
+def test_emit_writes_json_sidecar(common, tmp_path):
+    common.emit("unit_table", "body", results_dir=tmp_path)
+    sidecar = json.loads((tmp_path / "unit_table.json").read_text())
+    assert sidecar["name"] == "unit_table"
+    assert sidecar["artifact"] == "unit_table.txt"
+    assert sidecar["lines"] == 1
+    assert "created_unix" in sidecar
+
+
+def test_emit_appends_run_record(common, tmp_path):
+    common.emit("first", "a", results_dir=tmp_path,
+                config={"seed": 1})
+    common.emit("second", "b", results_dir=tmp_path)
+    runs = tmp_path / "runs.jsonl"
+    assert runs.exists()
+    recs = [json.loads(line) for line in runs.read_text().splitlines()]
+    assert [r["name"] for r in recs] == ["first", "second"]
+    assert recs[0]["config"] == {"seed": 1}
+    assert "git_rev" in recs[0]["meta"]
+
+
+def test_emit_record_carries_spans_and_metrics(common, tmp_path):
+    with common.traced_run("unit", seed=3):
+        with obs.span("list", method="T1"):
+            obs.metrics.inc("lister.ops", 42)
+    common.emit("unit", "text", results_dir=tmp_path)
+    (rec,) = [json.loads(line) for line in
+              (tmp_path / "runs.jsonl").read_text().splitlines()]
+    assert rec["metrics"]["counters"]["lister.ops"] == 42
+    (root,) = rec["spans"]
+    assert root["name"] == "unit"
+    assert root["children"][0]["name"] == "list"
+
+
+def test_traced_run_restores_disabled_state(common):
+    assert not obs.is_enabled()
+    with common.traced_run("x"):
+        assert obs.is_enabled()
+    assert not obs.is_enabled()

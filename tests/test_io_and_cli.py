@@ -133,3 +133,101 @@ class TestCli:
     def test_table_command(self, tmp_path, capsys):
         assert main(["table", "table05", "--out", str(tmp_path)]) == 0
         assert (tmp_path / "table05.txt").exists()
+
+
+class TestCliObservability:
+    """The --version / --trace flags and the profile subcommand."""
+
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        from repro import obs
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_trace_flag_prints_span_tree(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        main(["generate", "--n", "300", "--alpha", "1.7",
+              "--out", str(out), "--seed", "4"])
+        capsys.readouterr()
+        assert main(["triangles", "--graph", str(out), "--method", "T1",
+                     "--trace"]) == 0
+        text = capsys.readouterr().out
+        assert "-- trace" in text
+        for phase in ("relabel", "orient", "list"):
+            assert phase in text
+        assert "lister.ops" in text
+
+    def test_trace_disabled_afterwards(self, tmp_path, capsys):
+        from repro import obs
+        out = tmp_path / "g.txt"
+        main(["generate", "--n", "300", "--alpha", "1.7",
+              "--out", str(out), "--seed", "4"])
+        main(["triangles", "--graph", str(out), "--trace"])
+        assert not obs.is_enabled()
+
+    def test_trace_env_knob(self, tmp_path, capsys, monkeypatch):
+        out = tmp_path / "g.txt"
+        main(["generate", "--n", "300", "--alpha", "1.7",
+              "--out", str(out), "--seed", "4"])
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        main(["triangles", "--graph", str(out)])
+        assert "-- trace" in capsys.readouterr().out
+
+    def test_no_trace_no_tree(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        main(["generate", "--n", "300", "--alpha", "1.7",
+              "--out", str(out), "--seed", "4"])
+        capsys.readouterr()
+        main(["triangles", "--graph", str(out)])
+        assert "-- trace" not in capsys.readouterr().out
+
+    def test_profile_prints_phase_table(self, capsys):
+        assert main(["profile", "--n", "400", "--alpha", "1.7",
+                     "--seed", "2", "--methods", "T1,E1",
+                     "--orders", "descending"]) == 0
+        text = capsys.readouterr().out
+        assert "phase breakdown" in text
+        for column in ("relabel ms", "orient ms", "list ms"):
+            assert column in text
+        # one row per (order, method) combination
+        assert text.count("descending") >= 2
+
+    def test_profile_on_graph_file(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        main(["generate", "--n", "300", "--alpha", "1.7",
+              "--out", str(out), "--seed", "4"])
+        capsys.readouterr()
+        assert main(["profile", "--graph", str(out),
+                     "--methods", "T1", "--orders",
+                     "descending,ascending"]) == 0
+        text = capsys.readouterr().out
+        assert "ascending" in text and "descending" in text
+
+    def test_profile_record(self, tmp_path, capsys):
+        import json
+        sink = tmp_path / "runs.jsonl"
+        assert main(["profile", "--n", "400", "--alpha", "1.7",
+                     "--seed", "2", "--methods", "T1",
+                     "--orders", "descending",
+                     "--record", str(sink)]) == 0
+        (record,) = [json.loads(line)
+                     for line in sink.read_text().splitlines()]
+        assert record["name"] == "profile"
+        assert record["config"]["methods"] == ["T1"]
+        names = {child["name"] for root in record["spans"]
+                 for child in root.get("children", [])}
+        assert {"relabel", "orient", "list"} <= names
+
+    def test_profile_unknown_order(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--n", "300", "--orders", "sideways"])
