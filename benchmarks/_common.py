@@ -39,15 +39,37 @@ N_SEQUENCES = 8 if FULL else 3
 N_GRAPHS = 8 if FULL else 2
 
 
+def bench_workers() -> int | None:
+    """Worker-pool size for the simulation benches.
+
+    ``REPRO_BENCH_WORKERS``: unset/``0`` keeps the historic serial
+    path (golden values byte-identical); a positive integer fans
+    cells over that many processes; ``auto`` resolves from
+    ``REPRO_MAX_WORKERS`` / cpu count.
+    """
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "").strip().lower()
+    if not raw or raw == "0":
+        return 0
+    if raw == "auto":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return 0
+
+
 def emit(name: str, text: str, results_dir=None,
-         config: dict | None = None) -> pathlib.Path:
+         config: dict | None = None,
+         data: dict | None = None) -> pathlib.Path:
     """Print a reproduction table and persist it under results/.
 
     Writes ``<name>.txt``, a ``<name>.json`` sidecar, and appends a
     :class:`repro.obs.RunRecord` (collecting any finished spans and
     the current metrics snapshot) to ``runs.jsonl`` in the same
-    directory. Returns the path of the ``.txt`` artifact so benches
-    can assert on it.
+    directory. ``data`` is folded into the sidecar under ``"data"`` --
+    machine-readable bench results (e.g. per-method ns/edge) that
+    future runs can diff for regressions. Returns the path of the
+    ``.txt`` artifact so benches can assert on it.
     """
     out_dir = pathlib.Path(results_dir) if results_dir else RESULTS_DIR
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -63,6 +85,8 @@ def emit(name: str, text: str, results_dir=None,
         "full_scale": FULL,
         "lines": text.count("\n") + 1,
     }
+    if data is not None:
+        sidecar["data"] = data
     (out_dir / f"{name}.json").write_text(
         json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
     obs.record_run(name, config=config, path=out_dir / "runs.jsonl")
@@ -103,6 +127,7 @@ def run_sim_table(name: str, title: str, base_dist, truncation, cells,
     from repro.experiments.paper_tables import simulation_table
 
     sizes = sizes if sizes is not None else SIM_SIZES
+    workers = bench_workers()
     config = {
         "table": name,
         "title": title,
@@ -110,6 +135,7 @@ def run_sim_table(name: str, title: str, base_dist, truncation, cells,
         "sizes": list(sizes),
         "n_sequences": N_SEQUENCES,
         "n_graphs": N_GRAPHS,
+        "workers": workers,
         "full_scale": FULL,
         "cells": [{"label": label, "method": method,
                    "permutation": type(perm).__name__,
@@ -123,7 +149,8 @@ def run_sim_table(name: str, title: str, base_dist, truncation, cells,
         with obs.span("table", name=name, seed=seed):
             text, rows = simulation_table(
                 title, base_dist, truncation, cells, sizes=sizes,
-                n_sequences=N_SEQUENCES, n_graphs=N_GRAPHS, seed=seed)
+                n_sequences=N_SEQUENCES, n_graphs=N_GRAPHS, seed=seed,
+                workers=workers)
     finally:
         if not was_enabled:
             obs.disable()

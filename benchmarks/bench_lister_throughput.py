@@ -1,11 +1,18 @@
-"""Implementation throughput of the instrumented listers.
+"""Implementation throughput of the listing engines.
 
-Not a paper table -- an engineering companion to Table 3: how fast this
-library's own T1 (hash probing), E1 (two-pointer scanning), and L1
-(hash lookup) implementations run per operation in this interpreter.
-pytest-benchmark times them on the same oriented graph; the printed
-summary converts to operations/second so the section 2.4 decision rule
-can be instantiated with *this* runtime's constants end to end.
+Not a paper table -- an engineering companion to Table 3: how fast
+this library's listers run per edge in this interpreter, for both the
+instrumented pure-Python reference and the vectorized
+:mod:`repro.engine` kernels (count-only, the paper-scale workload).
+pytest-benchmark times the individual methods; the summary test
+measures every (method, engine) pair on one oriented graph, prints
+ns/edge with the numpy-over-python speedup, and persists the numbers
+via :func:`_common.emit` as ``BENCH_lister_throughput.json`` so future
+runs can diff engine performance for regressions.
+
+Scale: ``REPRO_BENCH_FULL=1`` runs the acceptance configuration
+(``n = 10^5``, where the numpy engine must be >= 10x on the four
+fundamental methods); the default is a quick ``n = 3000`` pass.
 """
 
 import time
@@ -18,10 +25,16 @@ from repro.distributions import root_truncation
 from repro.distributions.sampling import sample_degree_sequence
 from repro.graphs.generators import generate_graph
 from repro.listing import list_triangles
+from repro.engine import native
 
 from _common import FULL, emit
 
-N = 10_000 if FULL else 3000
+N = 100_000 if FULL else 3000
+
+#: The paper's four fundamental methods (section 2) plus one lookup
+#: iterator per probe direction.
+METHODS = ("T1", "T2", "E1", "E4", "L1", "L3")
+FUNDAMENTAL = ("T1", "T2", "E1", "E4")
 
 
 @pytest.fixture(scope="module")
@@ -30,13 +43,19 @@ def oriented():
     dist = DiscretePareto(1.7, 21.0).truncate(root_truncation(N))
     degrees = sample_degree_sequence(dist, N, rng)
     graph = generate_graph(degrees, rng)
-    return orient(graph, DescendingDegree())
+    g = orient(graph, DescendingDegree())
+    # warm both engines' caches (hash set / Bloom + uint32 mirrors)
+    g.edge_key_set()
+    list_triangles(g, "T1", collect=False, engine="numpy")
+    return g
 
 
-@pytest.mark.parametrize("method", ["T1", "T2", "E1", "E4", "L1", "L3"])
-def test_lister_throughput(benchmark, oriented, method):
+@pytest.mark.parametrize("engine", ["python", "numpy"])
+@pytest.mark.parametrize("method", FUNDAMENTAL)
+def test_lister_throughput(benchmark, oriented, method, engine):
     result = benchmark.pedantic(
-        lambda: list_triangles(oriented, method, collect=False),
+        lambda: list_triangles(oriented, method, collect=False,
+                               engine=engine),
         rounds=3 if FULL else 2, iterations=1)
     assert result.count > 0
 
@@ -44,18 +63,44 @@ def test_lister_throughput(benchmark, oriented, method):
 def test_throughput_summary(benchmark, oriented):
     def run():
         rows = []
-        for method in ("T1", "T2", "E1", "E4", "L1", "L3"):
-            start = time.perf_counter()
-            result = list_triangles(oriented, method, collect=False)
-            elapsed = time.perf_counter() - start
-            rows.append((method, result.ops,
-                         result.ops / elapsed if elapsed else 0.0))
+        for method in METHODS:
+            timings = {}
+            counts = {}
+            ops = None
+            for engine in ("python", "numpy"):
+                start = time.perf_counter()
+                result = list_triangles(oriented, method,
+                                        collect=False, engine=engine)
+                timings[engine] = time.perf_counter() - start
+                counts[engine] = result.count
+                ops = result.ops
+            assert counts["python"] == counts["numpy"], method
+            rows.append((method, ops, counts["numpy"],
+                         timings["python"], timings["numpy"]))
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    lines = [f"Lister throughput in this runtime (n={N}, descending)",
-             f"{'method':>7} {'ops':>12} {'ops/sec':>14}"]
-    for method, ops, rate in rows:
-        lines.append(f"{method:>7} {ops:>12} {rate:>14.3g}")
-    emit("lister_throughput", "\n".join(lines))
-    assert all(rate > 0 for __, __, rate in rows)
+    m = oriented.m
+    lines = [f"Engine throughput (n={N}, m={m}, descending, "
+             f"count-only; native={native.available()})",
+             f"{'method':>7} {'ops':>12} {'py ns/edge':>11} "
+             f"{'np ns/edge':>11} {'speedup':>8}"]
+    data = {"n": N, "m": int(m), "native": native.available(),
+            "full_scale": FULL, "methods": {}}
+    for method, ops, count, t_py, t_np in rows:
+        py_ns = t_py / m * 1e9
+        np_ns = t_np / m * 1e9
+        speedup = t_py / t_np if t_np else float("inf")
+        lines.append(f"{method:>7} {ops:>12} {py_ns:>11.1f} "
+                     f"{np_ns:>11.1f} {speedup:>7.1f}x")
+        data["methods"][method] = {
+            "ops": int(ops), "triangles": int(count),
+            "python_ns_per_edge": py_ns, "numpy_ns_per_edge": np_ns,
+            "speedup": speedup,
+        }
+    emit("BENCH_lister_throughput", "\n".join(lines), data=data)
+    for method, __, __, t_py, t_np in rows:
+        assert t_np > 0 and t_py > 0
+        if FULL and method in FUNDAMENTAL:
+            # the PR's acceptance bar at n = 10^5
+            assert t_py / t_np >= 10.0, (method, t_py / t_np)

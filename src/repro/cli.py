@@ -8,6 +8,7 @@ Subcommands::
     repro limit      the n -> inf cost limit of a (method, permutation)
     repro decide     the SEI-vs-hash decision rule (section 2.4)
     repro regimes    finiteness classification across tail indices
+    repro sweep      parallel Monte-Carlo sim-vs-model sweep over n
     repro profile    phase-time breakdown over a method/order grid
 
 Every subcommand accepts ``--trace`` (print the span tree and metric
@@ -212,6 +213,46 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    """``repro sweep``: Monte-Carlo sim-vs-model across graph sizes.
+
+    Fans degree sequences over a process pool
+    (:func:`repro.experiments.parallel.sweep_n_parallel`). The RNG
+    streams derive from ``--seed`` via ``SeedSequence.spawn``, so the
+    rows are bit-for-bit identical for any ``--workers`` /
+    ``--chunksize`` setting.
+    """
+    from repro.experiments.harness import SimulationSpec
+    from repro.experiments.parallel import (resolve_workers,
+                                            sweep_n_parallel)
+
+    dist = _dist_from_args(args)
+    trunc = (root_truncation if args.truncation == "root"
+             else linear_truncation)
+    ns = [int(float(x)) for x in args.ns.split(",") if x.strip()]
+    if not ns:
+        raise SystemExit("--ns must list at least one graph size")
+    spec = SimulationSpec(
+        base_dist=dist, truncation=trunc, method=args.method.upper(),
+        permutation=_ORDERS[args.order](),
+        limit_map=_ORDER_TO_MAP[args.order],
+        n_sequences=args.sequences, n_graphs=args.graphs,
+        generator=args.generator)
+    workers = resolve_workers(args.workers, args.sequences)
+    rows = sweep_n_parallel(spec, ns, seed=args.seed,
+                            max_workers=args.workers,
+                            chunksize=args.chunksize)
+    print(f"sweep: {spec.method} under {args.order}, "
+          f"alpha={args.alpha}, {args.truncation} truncation, "
+          f"{args.sequences}x{args.graphs} instances per n, "
+          f"{workers} worker(s), seed={args.seed}")
+    print(f"{'n':>9} {'sim c_n':>12} {'model c_n':>12} {'error':>8}")
+    for row in rows:
+        print(f"{row['n']:>9} {row['sim']:>12.4f} "
+              f"{row['model']:>12.4f} {100 * row['error']:>7.1f}%")
+    return 0
+
+
 def cmd_profile(args) -> int:
     """``repro profile``: run a method/order grid, report phase times.
 
@@ -395,6 +436,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="reproduction")
     p.add_argument("--full", action="store_true")
     p.set_defaults(func=cmd_table)
+
+    p = add_parser("sweep",
+                   help="parallel Monte-Carlo sweep: sim vs model "
+                        "across n")
+    _add_dist_args(p)
+    p.add_argument("--method", default="T1",
+                   help="T1-T6, E1-E6, or L1-L6")
+    p.add_argument("--order", choices=sorted(_ORDER_TO_MAP),
+                   default="descending")
+    p.add_argument("--ns", default="1000,3000,10000",
+                   help="comma-separated graph sizes (floats ok, e.g. "
+                        "1e4)")
+    p.add_argument("--sequences", type=int, default=4,
+                   help="degree sequences per n")
+    p.add_argument("--graphs", type=int, default=4,
+                   help="graph realizations per sequence")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: REPRO_MAX_WORKERS "
+                        "or cpu count)")
+    p.add_argument("--chunksize", type=int, default=None,
+                   help="tasks per worker dispatch (default: "
+                        "~4 chunks/worker)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--truncation", choices=("linear", "root"),
+                   default="root")
+    p.add_argument("--generator", choices=("residual", "configuration"),
+                   default="residual")
+    p.set_defaults(func=cmd_sweep)
 
     p = add_parser("profile",
                    help="phase-time breakdown over a method/order grid")

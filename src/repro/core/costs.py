@@ -54,6 +54,51 @@ def total_cost(method_name: str, out_degrees, in_degrees) -> float:
                      for c in method.components))
 
 
+def component_ops(out_degrees, in_degrees) -> dict[str, int]:
+    """Integer-exact totals of the three base costs (7)-(9).
+
+    One pass over the degree arrays yields all three sums; every
+    method's exact ``ops`` is then a table lookup
+    (:func:`total_ops`), which is how the vectorized engine reports
+    the paper's cost metric in closed form and how multi-method
+    sweeps avoid re-reducing the same arrays per method.
+    """
+    x = np.asarray(out_degrees, dtype=np.int64)
+    y = np.asarray(in_degrees, dtype=np.int64)
+    return {
+        "T1": int(np.sum(x * (x - 1)) // 2),
+        "T2": int(np.sum(x * y)),
+        "T3": int(np.sum(y * (y - 1)) // 2),
+    }
+
+
+def total_ops(method_name: str, out_degrees, in_degrees) -> int:
+    """Integer-exact ``ops`` for any method (the listers' counter).
+
+    Equals :func:`total_cost` but stays in int64 arithmetic, so it can
+    be compared ``==`` against an instrumented lister's ``ops``.
+    """
+    comps = component_ops(out_degrees, in_degrees)
+    return sum(comps[c] for c in get_method(method_name).components)
+
+
+def per_node_cost_many(method_names, out_degrees, in_degrees
+                       ) -> dict[str, float]:
+    """``c_n`` for several methods sharing one pass over the degrees.
+
+    The harness/sweep hot path evaluates the same oriented-degree
+    arrays under many methods; the three base reductions dominate, so
+    computing them once and recombining per method is the cheap way.
+    """
+    n = np.asarray(out_degrees).size
+    if n == 0:
+        return {name: 0.0 for name in method_names}
+    comps = component_ops(out_degrees, in_degrees)
+    return {name: sum(comps[c]
+                      for c in get_method(name).components) / n
+            for name in method_names}
+
+
 def per_node_cost(method_name: str, out_degrees, in_degrees) -> float:
     """``c_n(M, theta)``: eq. (1) evaluated exactly from the degrees."""
     n = np.asarray(out_degrees).size

@@ -1,0 +1,30 @@
+"""``repro.engine`` -- NumPy-vectorized triangle-listing kernels.
+
+The pure-Python listers in :mod:`repro.listing` are the instrumented
+ground truth: per-candidate loops whose ``ops``/``comparisons``
+counters define the paper's cost metric. This package re-implements
+all 18 search patterns as batched NumPy kernels over the
+``OrientedGraph`` CSR arrays -- ``searchsorted`` window bounds,
+grouped-arange candidate expansion, and sorted-key membership probes
+-- delivering order-of-magnitude speedups at ``n >= 10^5`` while
+returning bit-identical triangle sets, counts, and ``ops`` (computed
+in closed form from the oriented degrees, eqs. (7)-(9)).
+
+Select it per call (``list_triangles(..., engine="numpy")``) or let
+the ``"auto"`` policy pick it for count-only workloads; see
+docs/PERFORMANCE.md for the design and measured speedups.
+"""
+
+from repro.engine import native
+from repro.engine.kernels import (
+    CHUNK_CANDIDATES,
+    NUMPY_METHODS,
+    run_numpy,
+)
+
+__all__ = [
+    "CHUNK_CANDIDATES",
+    "NUMPY_METHODS",
+    "native",
+    "run_numpy",
+]

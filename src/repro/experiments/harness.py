@@ -125,18 +125,17 @@ def model_cost(spec: SimulationSpec, n: int) -> float:
                                spec.weight)
 
 
-def simulated_vs_model(spec: SimulationSpec, n: int,
-                       rng: np.random.Generator) -> tuple[float, float,
-                                                          float]:
-    """Return ``(sim, model, relative_error)`` for one cell.
+def check_model_divergence(spec: SimulationSpec, n: int, sim: float,
+                           model: float) -> float:
+    """Relative error ``model / sim - 1``, with the divergence warning.
 
-    ``relative_error = model / sim - 1`` matches the sign convention of
-    the paper's tables (negative = model underestimates). Cells whose
-    absolute relative error exceeds :func:`model_error_warn_threshold`
-    log a structured WARNING instead of diverging silently.
+    ``relative_error`` matches the sign convention of the paper's
+    tables (negative = model underestimates). Cells whose absolute
+    relative error exceeds :func:`model_error_warn_threshold` bump
+    ``harness.divergent_cells`` and log a structured WARNING instead
+    of diverging silently. Shared by the serial and pool-backed
+    harnesses.
     """
-    sim = simulate_cost(spec, n, rng)
-    model = model_cost(spec, n)
     error = model / sim - 1.0 if sim else float("nan")
     threshold = model_error_warn_threshold()
     if math.isfinite(error) and abs(error) > threshold:
@@ -146,12 +145,44 @@ def simulated_vs_model(spec: SimulationSpec, n: int,
                   permutation=type(spec.permutation).__name__,
                   n=n, sim=sim, model=model, relative_error=error,
                   threshold=threshold)
+    return error
+
+
+def simulated_vs_model(spec: SimulationSpec, n: int,
+                       rng: np.random.Generator) -> tuple[float, float,
+                                                          float]:
+    """Return ``(sim, model, relative_error)`` for one cell.
+
+    See :func:`check_model_divergence` for the error convention and
+    the divergence warning.
+    """
+    sim = simulate_cost(spec, n, rng)
+    model = model_cost(spec, n)
+    error = check_model_divergence(spec, n, sim, model)
     return sim, model, error
 
 
 def sweep_n(spec: SimulationSpec, ns: Sequence[int],
-            rng: np.random.Generator) -> list[dict]:
-    """Run a cell across graph sizes; returns one dict per ``n``."""
+            rng: np.random.Generator | None = None, *,
+            workers: int | None = 1, chunksize: int | None = None,
+            seed: int = 0) -> list[dict]:
+    """Run a cell across graph sizes; returns one dict per ``n``.
+
+    With ``workers=1`` (the default) this is the legacy serial path:
+    one ``rng`` threads through every cell, preserving historic
+    sequences exactly. Any other value -- including ``None`` (resolve
+    from ``REPRO_MAX_WORKERS`` / cpu count) -- delegates to
+    :func:`repro.experiments.parallel.sweep_n_parallel`, which fans
+    sequences over a process pool and derives its streams from
+    ``seed`` (``rng`` is then unused and may be ``None``).
+    """
+    if workers != 1:
+        from repro.experiments.parallel import sweep_n_parallel
+        return sweep_n_parallel(spec, ns, seed=seed,
+                                max_workers=workers,
+                                chunksize=chunksize)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     rows = []
     for n in ns:
         sim, model, error = simulated_vs_model(spec, n, rng)

@@ -35,23 +35,42 @@ FULL_SIZES = (10_000, 30_000, 100_000)
 
 def simulation_table(title: str, base_dist, truncation, cells,
                      sizes=DEFAULT_SIZES, n_sequences: int = 3,
-                     n_graphs: int = 2, seed: int = 2017):
+                     n_graphs: int = 2, seed: int = 2017,
+                     workers: int | None = 0,
+                     chunksize: int | None = None):
     """A Tables-6-to-10 style sweep: sim vs model (50) vs the limit.
 
     ``cells`` is a list of ``(label, method, permutation, limit_map)``.
     Returns ``(text, rows)`` with ``rows`` a list of
     :class:`ComparisonRow` (last row = the limits).
+
+    ``workers=0`` (the default) keeps the historic serial path: one
+    RNG threads through every cell, so existing golden values stay
+    byte-identical. Any other value routes each cell through the
+    process-pool harness with a deterministic per-cell seed derived
+    from ``(seed, n, cell index)`` -- reproducible for a fixed seed at
+    any worker count (``workers=None`` resolves from
+    ``REPRO_MAX_WORKERS`` / cpu count).
     """
     rng = np.random.default_rng(seed)
     rows = []
     for n in sizes:
         row_cells = []
-        for __, method, perm, limit_map in cells:
+        for cell_idx, (__, method, perm, limit_map) in enumerate(cells):
             spec = SimulationSpec(
                 base_dist=base_dist, truncation=truncation,
                 method=method, permutation=perm, limit_map=limit_map,
                 n_sequences=n_sequences, n_graphs=n_graphs)
-            row_cells.append(simulated_vs_model(spec, n, rng))
+            if workers == 0:
+                row_cells.append(simulated_vs_model(spec, n, rng))
+            else:
+                from repro.experiments.parallel import (
+                    simulated_vs_model_parallel)
+                cell_seed = np.random.SeedSequence(
+                    [seed, int(n), cell_idx])
+                row_cells.append(simulated_vs_model_parallel(
+                    spec, n, seed=cell_seed, max_workers=workers,
+                    chunksize=chunksize))
         rows.append(ComparisonRow(n, row_cells))
     limit_cells = []
     for __, method, perm, limit_map in cells:

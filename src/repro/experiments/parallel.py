@@ -2,59 +2,217 @@
 
 The paper averages every cell over 10,000 graph instances; a single
 Python process cannot afford that, but the instances are embarrassingly
-parallel. This runner fans a :class:`SimulationSpec` cell out over a
+parallel. This runner fans :class:`SimulationSpec` cells out over a
 process pool with independent, reproducibly-derived RNG streams
-(``numpy.random.SeedSequence.spawn``), and aggregates the per-instance
-costs.
+(``numpy.random.SeedSequence.spawn``) and chunked scheduling, and
+aggregates per-instance costs *and* per-worker observability back into
+the parent:
+
+* every worker runs its sequence under the same ``sequence``/
+  ``sample``/``list`` span structure the serial harness emits, ships
+  the finished span trees and the metric-counter snapshot home as
+  plain dicts, and the parent reattaches them under its ``cell`` span
+  (:meth:`repro.obs.spans.Span.from_dict`) and folds the counters into
+  its registry (:func:`repro.obs.metrics.merge_counters`);
+* ``harness.instances`` is incremented in the parent exactly as
+  :func:`repro.experiments.harness.simulate_cost` does.
+
+Results are bit-for-bit identical for a fixed seed regardless of
+worker count or chunk size: the seed derivation, task order, and
+aggregation order never depend on the pool geometry.
+
+Worker-count resolution: an explicit ``max_workers`` argument wins,
+then the ``REPRO_MAX_WORKERS`` environment variable, then
+``min(n_tasks, os.cpu_count())``.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import math
 import os
 
 import numpy as np
 
 from repro.core.costs import per_node_cost
 from repro.distributions.sampling import sample_degree_sequence
+from repro.experiments.harness import check_model_divergence, model_cost
 from repro.graphs.generators import generate_graph
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+from repro.obs.spans import Span, span
 from repro.orientations.relabel import orient
 
+__all__ = [
+    "resolve_chunksize",
+    "resolve_workers",
+    "simulate_cost_parallel",
+    "simulated_vs_model_parallel",
+    "sweep_n_parallel",
+]
 
-def _run_one_sequence(args):
-    """Worker: one degree sequence, ``n_graphs`` realizations."""
-    spec, n, seed_entropy = args
-    rng = np.random.default_rng(seed_entropy)
+
+def resolve_workers(max_workers: int | None, n_tasks: int) -> int:
+    """Pick the pool size: argument > ``REPRO_MAX_WORKERS`` > cpus.
+
+    The environment override and the default are both capped by the
+    task count (more workers than tasks is pure overhead); an explicit
+    argument is taken as-is.
+    """
+    if max_workers is not None:
+        return max(1, int(max_workers))
+    raw = os.environ.get("REPRO_MAX_WORKERS", "")
+    if raw:
+        try:
+            return max(1, min(int(raw), n_tasks))
+        except ValueError:
+            pass
+    return max(1, min(n_tasks, os.cpu_count() or 1))
+
+
+def resolve_chunksize(chunksize: int | None, n_tasks: int,
+                      workers: int) -> int:
+    """Tasks handed to a worker per round trip.
+
+    Default: ~4 chunks per worker (``ceil(n_tasks / (4 * workers))``)
+    -- large enough to amortize pickling, small enough to keep the
+    pool load-balanced when sequence costs vary.
+    """
+    if chunksize is not None:
+        return max(1, int(chunksize))
+    return max(1, math.ceil(n_tasks / (4 * workers)))
+
+
+def _run_one_sequence(task):
+    """Worker: one degree sequence, ``n_graphs`` realizations.
+
+    ``task`` is ``(spec, n, seq_index, seed, bootstrap)``. With
+    ``bootstrap=None`` (serial in-process call) the ambient
+    observability state is used directly -- spans nest under the open
+    ``cell`` span, metrics go to the live registry -- and the obs
+    fields of the return value are ``None``. In a child process
+    ``bootstrap`` carries the parent's ``(spans_on, metrics_on)``
+    flags; the worker enables a fresh obs state, runs, and returns the
+    collected span dicts and counter snapshot for the parent to merge.
+    """
+    spec, n, seq_index, seed, bootstrap = task
+    in_child = bootstrap is not None
+    if in_child:
+        spans_on, metrics_on = bootstrap
+        _spans.reset()
+        _metrics.reset()
+        if spans_on:
+            _spans.enable()
+        if metrics_on:
+            _metrics.enable()
+    rng = np.random.default_rng(seed)
     dist_n = spec.base_dist.truncate(spec.truncation(n))
-    degrees = sample_degree_sequence(dist_n, n, rng)
     costs = []
-    for __ in range(spec.n_graphs):
-        graph = generate_graph(degrees, rng, method=spec.generator)
-        oriented = orient(graph, spec.permutation, rng=rng,
-                          tie_break=spec.tie_break)
-        costs.append(per_node_cost(spec.method, oriented.out_degrees,
-                                   oriented.in_degrees))
-    return costs
+    with span("sequence", index=seq_index, n=n):
+        with span("sample", n=n):
+            degrees = sample_degree_sequence(dist_n, n, rng)
+        for __ in range(spec.n_graphs):
+            graph = generate_graph(degrees, rng, method=spec.generator)
+            oriented = orient(graph, spec.permutation, rng=rng,
+                              tie_break=spec.tie_break)
+            with span("list", method=spec.method):
+                costs.append(per_node_cost(
+                    spec.method, oriented.out_degrees,
+                    oriented.in_degrees))
+    if not in_child:
+        return costs, None, None
+    spans_on, metrics_on = bootstrap
+    counters = _metrics.snapshot()["counters"] if metrics_on else None
+    span_dicts = ([s.to_dict() for s in _spans.pop_finished()]
+                  if spans_on else None)
+    if spans_on:
+        _spans.disable()
+    if metrics_on:
+        _metrics.disable()
+    return costs, counters, span_dicts
 
 
-def simulate_cost_parallel(spec, n: int, seed: int = 0,
-                           max_workers: int | None = None) -> float:
+def simulate_cost_parallel(spec, n: int, seed=0,
+                           max_workers: int | None = None,
+                           chunksize: int | None = None) -> float:
     """Parallel version of
     :func:`repro.experiments.harness.simulate_cost`.
 
-    Spawns one task per degree sequence; each task derives its RNG from
-    ``SeedSequence(seed).spawn``, so results are reproducible for a
-    fixed ``(spec, n, seed)`` regardless of worker count.
+    Spawns one task per degree sequence; each task derives its RNG
+    from ``SeedSequence(seed).spawn``, so results are bit-for-bit
+    reproducible for a fixed ``(spec, n, seed)`` regardless of
+    ``max_workers`` / ``chunksize``. ``seed`` may be an ``int`` or a
+    ``numpy.random.SeedSequence``.
+
+    Observability parity with the serial harness: the fan-out runs
+    under a ``cell`` span, worker span trees are reattached beneath
+    it, worker counters are merged into the parent registry, and
+    ``harness.instances`` counts every realized graph.
     """
-    if max_workers is None:
-        max_workers = min(spec.n_sequences, os.cpu_count() or 1)
-    seeds = np.random.SeedSequence(seed).spawn(spec.n_sequences)
-    tasks = [(spec, n, s) for s in seeds]
-    if max_workers <= 1:
-        results = [_run_one_sequence(t) for t in tasks]
-    else:
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=max_workers) as pool:
-            results = list(pool.map(_run_one_sequence, tasks))
-    all_costs = [c for chunk in results for c in chunk]
+    n_tasks = spec.n_sequences
+    workers = resolve_workers(max_workers, n_tasks)
+    cs = resolve_chunksize(chunksize, n_tasks, workers)
+    root = (seed if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed))
+    seeds = root.spawn(n_tasks)
+    with span("cell", method=spec.method,
+              permutation=type(spec.permutation).__name__, n=n,
+              workers=workers, chunksize=cs) as cell:
+        if workers <= 1:
+            results = [_run_one_sequence((spec, n, i, s, None))
+                       for i, s in enumerate(seeds)]
+        else:
+            bootstrap = (_spans.is_enabled(), _metrics.is_enabled())
+            tasks = [(spec, n, i, s, bootstrap)
+                     for i, s in enumerate(seeds)]
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers) as pool:
+                results = list(pool.map(_run_one_sequence, tasks,
+                                        chunksize=cs))
+            for __, counters, span_dicts in results:
+                if counters:
+                    _metrics.merge_counters(counters)
+                if span_dicts and isinstance(cell, Span):
+                    cell.children.extend(
+                        Span.from_dict(d) for d in span_dicts)
+        all_costs = [c for costs, __, __ in results for c in costs]
+        cell.annotate(instances=len(all_costs))
+    _metrics.inc("harness.instances", len(all_costs))
     return float(np.mean(all_costs))
+
+
+def simulated_vs_model_parallel(spec, n: int, seed=0,
+                                max_workers: int | None = None,
+                                chunksize: int | None = None
+                                ) -> tuple[float, float, float]:
+    """Parallel analogue of
+    :func:`repro.experiments.harness.simulated_vs_model` -- same
+    return convention and divergence warning, pool-backed simulation.
+    """
+    sim = simulate_cost_parallel(spec, n, seed=seed,
+                                 max_workers=max_workers,
+                                 chunksize=chunksize)
+    model = model_cost(spec, n)
+    error = check_model_divergence(spec, n, sim, model)
+    return sim, model, error
+
+
+def sweep_n_parallel(spec, ns, seed=0, max_workers: int | None = None,
+                     chunksize: int | None = None) -> list[dict]:
+    """Pool-backed :func:`repro.experiments.harness.sweep_n`.
+
+    Each ``n`` gets its own child ``SeedSequence`` (spawned in grid
+    order), so the whole sweep is reproducible for a fixed ``seed``
+    and invariant to the pool geometry.
+    """
+    root = (seed if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed))
+    children = root.spawn(len(list(ns)))
+    rows = []
+    for n, child in zip(ns, children):
+        sim, model, error = simulated_vs_model_parallel(
+            spec, n, seed=child, max_workers=max_workers,
+            chunksize=chunksize)
+        rows.append({"n": n, "sim": sim, "model": model,
+                     "error": error})
+    return rows

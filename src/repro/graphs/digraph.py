@@ -79,6 +79,8 @@ class OrientedGraph:
         self.in_degrees = in_counts.astype(np.int64)
         self.degrees = self.out_degrees + self.in_degrees
         self._edge_keys: set | None = None
+        self._out_keys: np.ndarray | None = None
+        self._in_keys: np.ndarray | None = None
 
     def out_neighbors(self, i: int) -> np.ndarray:
         """``N+(i)``: neighbors with smaller labels, sorted ascending."""
@@ -96,6 +98,46 @@ class OrientedGraph:
         """All in-lists as array views."""
         return [self.in_neighbors(i) for i in range(self.n)]
 
+    def out_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The out-adjacency as raw CSR ``(indices, indptr)`` arrays.
+
+        Row ``i`` is ``indices[indptr[i]:indptr[i+1]]`` -- the sorted
+        out-neighbors of ``i``. The vectorized engine operates on these
+        directly instead of slicing per node.
+        """
+        return self._out_indices, self._out_indptr
+
+    def in_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The in-adjacency as raw CSR ``(indices, indptr)`` arrays."""
+        return self._in_indices, self._in_indptr
+
+    def out_key_array(self) -> np.ndarray:
+        """Directed edges as sorted int64 keys ``src * n + dst``.
+
+        Because the out-CSR is ordered by ``(src, dst)``, the key array
+        is globally sorted ascending -- so edge existence is a binary
+        search (``np.searchsorted``) and prefix/suffix windows of any
+        out-list are ``searchsorted`` bounds on this array. Cached.
+        """
+        if self._out_keys is None:
+            rows = np.repeat(np.arange(self.n, dtype=np.int64),
+                             self.out_degrees)
+            self._out_keys = rows * np.int64(self.n) + self._out_indices
+        return self._out_keys
+
+    def in_key_array(self) -> np.ndarray:
+        """Reverse-direction keys ``dst * n + src``, sorted ascending.
+
+        The in-CSR analogue of :meth:`out_key_array`: window bounds for
+        in-lists (``N-(v)`` restricted above/below a label) become
+        ``searchsorted`` calls on this array. Cached.
+        """
+        if self._in_keys is None:
+            rows = np.repeat(np.arange(self.n, dtype=np.int64),
+                             self.in_degrees)
+            self._in_keys = rows * np.int64(self.n) + self._in_indices
+        return self._in_keys
+
     def edge_key_set(self) -> set:
         """Hash set of directed edges encoded as ``src * n + dst``.
 
@@ -103,14 +145,7 @@ class OrientedGraph:
         (section 2.2). Built lazily and cached.
         """
         if self._edge_keys is None:
-            n = np.int64(self.n)
-            keys = np.empty(self.m, dtype=np.int64)
-            pos = 0
-            for i in range(self.n):
-                outs = self.out_neighbors(i)
-                keys[pos:pos + outs.size] = np.int64(i) * n + outs
-                pos += outs.size
-            self._edge_keys = set(keys.tolist())
+            self._edge_keys = set(self.out_key_array().tolist())
         return self._edge_keys
 
     def has_directed_edge(self, src: int, dst: int) -> bool:

@@ -1,4 +1,18 @@
-"""High-level entry points for the 18 listing methods."""
+"""High-level entry points for the 18 listing methods.
+
+Two engines back every method:
+
+* ``"python"`` -- the instrumented pure-Python loops (the ground-truth
+  reference; per-candidate ``ops``/``comparisons`` counting).
+* ``"numpy"`` -- the vectorized kernels of :mod:`repro.engine`
+  (identical triangles/counts/``ops``, orders of magnitude faster; see
+  docs/PERFORMANCE.md).
+
+The default ``engine="auto"`` keeps the reference loops for collecting
+runs (their enumeration order is part of the documented semantics) and
+routes count-only runs (``collect=False``) through the vectorized
+engine, which is where the paper-scale workloads live.
+"""
 
 from __future__ import annotations
 
@@ -18,15 +32,37 @@ from repro.obs.spans import span
 ALL_METHODS = (VERTEX_ITERATORS + SCANNING_EDGE_ITERATORS
                + LOOKUP_EDGE_ITERATORS)
 
+#: Recognized values of the ``engine`` argument.
+ENGINES = ("auto", "python", "numpy")
 
-def list_triangles(oriented, method: str = "E1",
-                   collect: bool = True) -> ListingResult:
+
+def _run_python(oriented, method: str, collect: bool) -> ListingResult:
+    if method in VERTEX_ITERATORS:
+        return run_vertex_iterator(oriented, method, collect)
+    if method in SCANNING_EDGE_ITERATORS:
+        return run_edge_iterator(oriented, method, collect)
+    if method in LOOKUP_EDGE_ITERATORS:
+        return run_lookup_iterator(oriented, method, collect)
+    raise ValueError(
+        f"unknown method {method!r}; choose from {ALL_METHODS}")
+
+
+def list_triangles(oriented, method: str = "E1", collect: bool = True,
+                   engine: str = "auto") -> ListingResult:
     """List all triangles of the oriented graph with the named method.
 
     ``method`` is one of ``T1``-``T6``, ``E1``-``E6``, or ``L1``-``L6``.
     Every method enumerates each triangle exactly once (as labels
     ``x < y < z``); they differ only in traversal order and cost. See
     :class:`~repro.listing.base.ListingResult` for the returned counters.
+
+    ``engine`` selects the implementation: ``"python"`` (instrumented
+    reference), ``"numpy"`` (vectorized), or ``"auto"`` (numpy for
+    count-only runs, python when collecting). Both report the same
+    ``count``/``ops``/``hash_inserts`` and -- when collecting -- the
+    same triangle set; the numpy engine's enumeration *order* and its
+    E-family ``comparisons`` follow the closed-form semantics described
+    in :mod:`repro.engine.kernels`.
 
     Example::
 
@@ -35,21 +71,27 @@ def list_triangles(oriented, method: str = "E1",
         print(result.count, result.per_node_cost)
     """
     method = method.upper()
-    with span("list", method=method, n=oriented.n) as sp:
-        if method in VERTEX_ITERATORS:
-            result = run_vertex_iterator(oriented, method, collect)
-        elif method in SCANNING_EDGE_ITERATORS:
-            result = run_edge_iterator(oriented, method, collect)
-        elif method in LOOKUP_EDGE_ITERATORS:
-            result = run_lookup_iterator(oriented, method, collect)
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from "
+                         f"{ENGINES}")
+    if engine == "auto":
+        engine = "python" if collect else "numpy"
+    with span("list", method=method, n=oriented.n, engine=engine) as sp:
+        if engine == "numpy":
+            from repro.engine import run_numpy
+            if method not in ALL_METHODS:
+                raise ValueError(f"unknown method {method!r}; choose "
+                                 f"from {ALL_METHODS}")
+            result = run_numpy(oriented, method, collect)
         else:
-            raise ValueError(
-                f"unknown method {method!r}; choose from {ALL_METHODS}")
+            result = _run_python(oriented, method, collect)
         sp.annotate(ops=result.ops, triangles=result.count)
     publish_result_metrics(result)
     return result
 
 
-def count_triangles(oriented, method: str = "E1") -> int:
+def count_triangles(oriented, method: str = "E1",
+                    engine: str = "auto") -> int:
     """Count triangles without storing them (``collect=False`` run)."""
-    return list_triangles(oriented, method, collect=False).count
+    return list_triangles(oriented, method, collect=False,
+                          engine=engine).count

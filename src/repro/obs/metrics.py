@@ -24,6 +24,7 @@ __all__ = [
     "enable",
     "inc",
     "is_enabled",
+    "merge_counters",
     "observe",
     "registry",
     "reset",
@@ -96,6 +97,16 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def merge_counters(self, counters: dict) -> None:
+        """Fold a ``{name: value}`` mapping into the counters.
+
+        This is how worker-process metric snapshots are aggregated
+        back into the parent registry after a parallel fan-out.
+        """
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+
     def snapshot(self) -> dict:
         """JSON-ready snapshot of every metric."""
         with self._lock:
@@ -158,6 +169,13 @@ def observe(name: str, value: float) -> None:
     if not _enabled:
         return
     _registry.observe(name, value)
+
+
+def merge_counters(counters: dict) -> None:
+    """Merge worker counters -- no-op while publication is disabled."""
+    if not _enabled:
+        return
+    _registry.merge_counters(counters)
 
 
 def snapshot() -> dict:

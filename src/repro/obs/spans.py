@@ -107,6 +107,22 @@ class Span:
             out["children"] = [c.to_dict() for c in self.children]
         return out
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output.
+
+        Used to reattach worker-process span trees (which cross the
+        process boundary as plain dicts) under a parent span.
+        """
+        s = cls(data["name"], data.get("attrs"))
+        s.duration_ns = int(data.get("duration_ns", 0))
+        if "mem_delta_bytes" in data:
+            s.mem_delta_bytes = int(data["mem_delta_bytes"])
+        if "mem_peak_bytes" in data:
+            s.mem_peak_bytes = int(data["mem_peak_bytes"])
+        s.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return s
+
     def phase_totals(self) -> dict[str, int]:
         """Total ``duration_ns`` per span name over the whole subtree."""
         totals: dict[str, int] = {}

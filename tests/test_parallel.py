@@ -3,10 +3,12 @@
 import numpy as np
 import pytest
 
-from repro import DescendingDegree, DiscretePareto
+from repro import DescendingDegree, DiscretePareto, obs
 from repro.distributions import root_truncation
-from repro.experiments.harness import SimulationSpec
-from repro.experiments.parallel import simulate_cost_parallel
+from repro.experiments.harness import SimulationSpec, sweep_n
+from repro.experiments.parallel import (resolve_chunksize, resolve_workers,
+                                        simulate_cost_parallel,
+                                        sweep_n_parallel)
 
 
 def _spec(n_sequences=3, n_graphs=2):
@@ -19,6 +21,35 @@ def _spec(n_sequences=3, n_graphs=2):
         n_sequences=n_sequences,
         n_graphs=n_graphs,
     )
+
+
+class TestResolvers:
+    def test_explicit_workers_win(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "7")
+        assert resolve_workers(3, n_tasks=100) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "2")
+        assert resolve_workers(None, n_tasks=100) == 2
+
+    def test_env_capped_by_tasks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "64")
+        assert resolve_workers(None, n_tasks=3) == 3
+
+    def test_bad_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "lots")
+        assert resolve_workers(None, n_tasks=2) >= 1
+
+    def test_workers_floor_is_one(self):
+        assert resolve_workers(0, n_tasks=10) == 1
+        assert resolve_workers(-3, n_tasks=10) == 1
+
+    def test_chunksize_explicit(self):
+        assert resolve_chunksize(5, n_tasks=100, workers=4) == 5
+
+    def test_chunksize_default_covers_tasks(self):
+        cs = resolve_chunksize(None, n_tasks=100, workers=4)
+        assert 1 <= cs <= 25
 
 
 class TestParallelRunner:
@@ -35,6 +66,31 @@ class TestParallelRunner:
                                           max_workers=2)
         assert serial == pytest.approx(parallel, rel=1e-12)
 
+    def test_reproducible_across_chunksizes(self):
+        spec = _spec(n_sequences=4)
+        a = simulate_cost_parallel(spec, 500, seed=5, max_workers=2,
+                                   chunksize=1)
+        b = simulate_cost_parallel(spec, 500, seed=5, max_workers=2,
+                                   chunksize=4)
+        assert a == b
+
+    def test_seed_sequence_accepted(self):
+        spec = _spec()
+        ss = np.random.SeedSequence([2017, 600, 0])
+        a = simulate_cost_parallel(spec, 600, seed=ss, max_workers=1)
+        b = simulate_cost_parallel(
+            spec, 600, seed=np.random.SeedSequence([2017, 600, 0]),
+            max_workers=2)
+        assert a == b
+
+    def test_env_worker_override(self, monkeypatch):
+        """REPRO_MAX_WORKERS steers the pool without changing values."""
+        spec = _spec()
+        baseline = simulate_cost_parallel(spec, 500, seed=9,
+                                          max_workers=1)
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "2")
+        assert simulate_cost_parallel(spec, 500, seed=9) == baseline
+
     def test_matches_model_magnitude(self):
         """Sanity: the parallel estimate lands near the model."""
         from repro import discrete_cost_model
@@ -45,3 +101,64 @@ class TestParallelRunner:
             spec.base_dist.truncate(root_truncation(n)), "T1",
             "descending")
         assert value == pytest.approx(model, rel=0.2)
+
+
+class TestSweep:
+    NS = (400, 700)
+
+    def test_sweep_worker_invariance(self):
+        spec = _spec()
+        serial = sweep_n_parallel(spec, self.NS, seed=13, max_workers=1)
+        pooled = sweep_n_parallel(spec, self.NS, seed=13, max_workers=2)
+        assert serial == pooled
+
+    def test_sweep_n_delegates_to_pool(self):
+        """harness.sweep_n(workers=N) equals the parallel scheduler."""
+        spec = _spec()
+        direct = sweep_n_parallel(spec, self.NS, seed=13, max_workers=2)
+        via_harness = sweep_n(spec, self.NS, seed=13, workers=2)
+        assert direct == via_harness
+
+    def test_sweep_rows_shape(self):
+        rows = sweep_n_parallel(_spec(), self.NS, seed=13, max_workers=2)
+        assert [r["n"] for r in rows] == list(self.NS)
+        for row in rows:
+            assert row["sim"] > 0 and row["model"] > 0
+            assert abs(row["error"]) < 1.0
+
+
+class TestObsParity:
+    """The pooled path reports the same telemetry as the serial one."""
+
+    def _run(self, max_workers):
+        obs.enable()
+        obs.reset()
+        try:
+            with obs.span("root"):
+                simulate_cost_parallel(_spec(n_sequences=4), 400,
+                                       seed=21, max_workers=max_workers)
+            spans = obs.pop_finished()
+            counters = obs.metrics_snapshot()["counters"]
+        finally:
+            obs.disable()
+        (root,) = spans
+        (cell,) = root.children
+        return cell, counters
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_cell_span_and_children(self, max_workers):
+        cell, counters = self._run(max_workers)
+        assert cell.name == "cell"
+        assert cell.attrs["workers"] == max_workers
+        assert cell.attrs["instances"] == 8  # 4 sequences x 2 graphs
+        seq_spans = [c for c in cell.children if c.name == "sequence"]
+        assert len(seq_spans) == 4
+        for seq in seq_spans:
+            assert any(c.name == "sample" for c in seq.children)
+
+    def test_worker_counters_merged(self):
+        __, serial = self._run(1)
+        __, pooled = self._run(2)
+        assert pooled["harness.instances"] == 8
+        assert pooled["orient.edges"] == serial["orient.edges"] > 0
+        assert pooled["orient.runs"] == serial["orient.runs"] == 8
