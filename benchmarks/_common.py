@@ -89,7 +89,13 @@ def emit(name: str, text: str, results_dir=None,
         sidecar["data"] = data
     (out_dir / f"{name}.json").write_text(
         json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
-    obs.record_run(name, config=config, path=out_dir / "runs.jsonl")
+    # REPRO_RUNS_FILE redirects the run-record trail (e.g. the CI perf
+    # gate isolating its history); otherwise it rides with the tables.
+    if os.environ.get("REPRO_RUNS_FILE", "").strip():
+        record_path = obs.records.runs_path()
+    else:
+        record_path = out_dir / "runs.jsonl"
+    obs.record_run(name, config=config, path=record_path)
     return path
 
 
@@ -154,5 +160,28 @@ def run_sim_table(name: str, title: str, base_dist, truncation, cells,
     finally:
         if not was_enabled:
             obs.disable()
+    config["rows"] = sim_rows_for_record(rows, cells)
     emit(name, text, config=config)
     return rows
+
+
+def sim_rows_for_record(rows, cells) -> list[dict]:
+    """Flatten :class:`ComparisonRow` cells for the run record.
+
+    One dict per (label, n) with the ``sim`` / ``model`` / ``error``
+    triple -- the shape ``repro report divergence`` and the baseline
+    comparison consume. The ``n = "inf"`` limit row is skipped (it has
+    no simulated side).
+    """
+    labels = [cell[0] for cell in cells]
+    out = []
+    for row in rows:
+        if not isinstance(row.n, int):
+            continue
+        for label, cell in zip(labels, row.cells):
+            if cell is None:
+                continue
+            sim, model, error = cell
+            out.append({"label": label, "n": int(row.n), "sim": sim,
+                        "model": model, "error": error})
+    return out

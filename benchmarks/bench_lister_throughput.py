@@ -7,14 +7,18 @@ instrumented pure-Python reference and the vectorized
 pytest-benchmark times the individual methods; the summary test
 measures every (method, engine) pair on one oriented graph, prints
 ns/edge with the numpy-over-python speedup, and persists the numbers
-via :func:`_common.emit` as ``BENCH_lister_throughput.json`` so future
-runs can diff engine performance for regressions.
+via :func:`_common.emit` as ``BENCH_lister_throughput.json`` -- both
+under ``benchmarks/results/`` and as a copy at the repo root (the
+tracked perf-trajectory location) -- so future runs and ``repro
+report compare`` can diff engine performance for regressions.
 
 Scale: ``REPRO_BENCH_FULL=1`` runs the acceptance configuration
 (``n = 10^5``, where the numpy engine must be >= 10x on the four
 fundamental methods); the default is a quick ``n = 3000`` pass.
 """
 
+import pathlib
+import shutil
 import time
 
 import numpy as np
@@ -98,7 +102,13 @@ def test_throughput_summary(benchmark, oriented):
             "python_ns_per_edge": py_ns, "numpy_ns_per_edge": np_ns,
             "speedup": speedup,
         }
-    emit("BENCH_lister_throughput", "\n".join(lines), data=data)
+    path = emit("BENCH_lister_throughput", "\n".join(lines),
+                config=data, data=data)
+    # also publish the JSON sidecar at the repo root -- the tracked
+    # perf-trajectory location future sessions diff against
+    sidecar = path.with_suffix(".json")
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    shutil.copyfile(sidecar, repo_root / sidecar.name)
     for method, __, __, t_py, t_np in rows:
         assert t_np > 0 and t_py > 0
         if FULL and method in FUNDAMENTAL:

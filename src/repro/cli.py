@@ -10,6 +10,8 @@ Subcommands::
     repro regimes    finiteness classification across tail indices
     repro sweep      parallel Monte-Carlo sim-vs-model sweep over n
     repro profile    phase-time breakdown over a method/order grid
+    repro report     run-history analytics & the perf-regression gate
+                     (trends | baseline | compare | divergence)
 
 Every subcommand accepts ``--trace`` (print the span tree and metric
 counters after the run; add ``--trace-memory`` for tracemalloc peaks).
@@ -323,6 +325,73 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _report_records(args):
+    """Load + filter the run history for the ``report`` subcommands."""
+    from repro.obs import records as obs_records
+    from repro.obs import report as obs_report
+    records = obs_records.load_records(args.runs)
+    return obs_report.filter_records(
+        records, names=args.name or None,
+        git_rev=getattr(args, "git_rev", None),
+        last=getattr(args, "last", None))
+
+
+def cmd_report(args) -> int:
+    """``repro report``: analytics over the JSONL run history.
+
+    ``trends`` summarizes per-bench wall clock and headline counters
+    by git revision; ``divergence`` tabulates the model-vs-simulation
+    error cells; ``baseline`` freezes the aggregated history to a JSON
+    file; ``compare`` classifies the history against such a baseline
+    and (with ``--fail-on-regress``) exits non-zero on regressions --
+    the CI perf gate.
+    """
+    from repro.obs import baselines as obs_baselines
+    from repro.obs import report as obs_report
+
+    records = _report_records(args)
+    if args.report_command == "trends":
+        print(obs_report.format_trends(obs_report.trend_rows(records)))
+        return 0
+    if args.report_command == "divergence":
+        rows = obs_report.divergence_rows(records)
+        print(obs_report.format_divergence(rows))
+        if args.fail_over is not None:
+            worst = max((abs(r["error"]) for r in rows), default=0.0)
+            if worst > args.fail_over:
+                print(f"FAIL: worst |error| {100 * worst:.1f}% exceeds "
+                      f"--fail-over {100 * args.fail_over:.1f}%")
+                return 1
+        return 0
+    if args.report_command == "baseline":
+        if not records:
+            sink = args.runs or "the default sink"
+            raise SystemExit(f"no run records matched in {sink}; "
+                             f"run a benchmark first")
+        baseline = obs_baselines.build_baseline(records,
+                                                label=args.label)
+        path = obs_baselines.save_baseline(baseline, args.out)
+        print(f"baseline over {len(records)} record(s) / "
+              f"{len(baseline.names())} bench(es) written to {path}")
+        return 0
+    # compare
+    baseline = obs_baselines.load_baseline(args.baseline)
+    deltas = obs_baselines.compare(
+        records, baseline, rtol_time=args.rtol_time,
+        rtol_value=args.rtol_value, atol_error=args.atol_error,
+        include_time=not args.no_time)
+    print(obs_baselines.format_deltas(deltas, show=args.show,
+                                      baseline_meta=baseline.meta))
+    if obs_baselines.has_regressions(deltas):
+        if args.fail_on_regress:
+            print("FAIL: regressions detected against "
+                  f"{args.baseline}")
+            return 1
+        print("WARNING: regressions detected (pass --fail-on-regress "
+              "to gate on them)")
+    return 0
+
+
 def _package_version() -> str:
     """Installed package version, falling back to the module constant."""
     try:
@@ -464,6 +533,74 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--generator", choices=("residual", "configuration"),
                    default="residual")
     p.set_defaults(func=cmd_sweep)
+
+    p = add_parser("report",
+                   help="run-history analytics & perf-regression gate")
+    rsub = p.add_subparsers(dest="report_command", required=True)
+
+    def add_report_parser(name, **kwargs):
+        rp = rsub.add_parser(name, **kwargs)
+        rp.add_argument("--runs", default=None, metavar="PATH",
+                        help="runs.jsonl to read (default: "
+                             "REPRO_RUNS_FILE or "
+                             "benchmarks/results/runs.jsonl)")
+        rp.add_argument("--name", action="append", default=None,
+                        metavar="PATTERN",
+                        help="only benches matching this fnmatch "
+                             "pattern (repeatable)")
+        rp.add_argument("--last", type=int, default=None, metavar="K",
+                        help="only the most recent K records per bench")
+        rp.set_defaults(func=cmd_report)
+        return rp
+
+    rp = add_report_parser(
+        "trends", help="wall-clock & counter trajectory per git rev")
+    rp.add_argument("--git-rev", default=None,
+                    help="restrict to one git revision")
+
+    rp = add_report_parser(
+        "baseline", help="freeze the aggregated history to a JSON file")
+    rp.add_argument("--out", required=True, metavar="FILE",
+                    help="baseline file to write (convention: "
+                         "benchmarks/baselines/<name>.json)")
+    rp.add_argument("--label", default=None,
+                    help="free-form label stored in the baseline meta")
+    rp.add_argument("--git-rev", default=None,
+                    help="restrict to records of one git revision")
+
+    rp = add_report_parser(
+        "compare",
+        help="classify the history against a baseline "
+             "(improved/unchanged/regressed)")
+    rp.add_argument("--baseline", required=True, metavar="FILE",
+                    help="baseline JSON produced by `repro report "
+                         "baseline`")
+    rp.add_argument("--rtol-time", type=float, default=0.25,
+                    help="relative tolerance for wall-clock metrics "
+                         "(default 0.25)")
+    rp.add_argument("--rtol-value", type=float, default=1e-6,
+                    help="relative tolerance for deterministic "
+                         "counters/costs (default 1e-6)")
+    rp.add_argument("--atol-error", type=float, default=0.05,
+                    help="absolute tolerance for |model error| growth "
+                         "(default 0.05)")
+    rp.add_argument("--no-time", action="store_true",
+                    help="ignore wall-clock metrics (cross-machine CI "
+                         "mode: gate on deterministic cells only)")
+    rp.add_argument("--fail-on-regress", action="store_true",
+                    help="exit non-zero when any cell regressed")
+    rp.add_argument("--show", choices=("changed", "all"),
+                    default="changed",
+                    help="print only changed cells (default) or all")
+    rp.add_argument("--git-rev", default=None,
+                    help="restrict to records of one git revision")
+
+    rp = add_report_parser(
+        "divergence", help="model-vs-simulation error table")
+    rp.add_argument("--fail-over", type=float, default=None,
+                    metavar="ERR",
+                    help="exit non-zero if any cell's median |error| "
+                         "exceeds this fraction")
 
     p = add_parser("profile",
                    help="phase-time breakdown over a method/order grid")

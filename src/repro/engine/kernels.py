@@ -50,6 +50,7 @@ from repro.core.costs import component_ops
 from repro.core.methods import get_method
 from repro.engine import native as _native
 from repro.listing.base import ListingResult
+from repro.obs import metrics as _metrics
 
 #: Candidate pairs materialized per batch (caps peak working memory).
 CHUNK_CANDIDATES = 1 << 21
@@ -177,11 +178,13 @@ class _GraphCache:
                 bloom |= occupied.astype(np.uint8) << np.uint8(b)
         return bloom
 
-    def probe_hits(self, a32, b32) -> np.ndarray:
+    def probe_hits(self, a32, b32, stats=None) -> np.ndarray:
         """Indices ``i`` where directed edge ``a32[i] -> b32[i]`` exists.
 
         Exact: Bloom-prefiltered, then confirmed by binary search in
-        the sorted edge-key array.
+        the sorted edge-key array. With ``stats`` (a counter dict, only
+        handed in while metrics are enabled) the probe/hit/confirm
+        volumes are accumulated for the ``engine.*`` telemetry.
         """
         if self.out_keys.size == 0:
             return np.empty(0, dtype=np.int64)
@@ -191,6 +194,10 @@ class _GraphCache:
         np.bitwise_and(h, np.uint32(7), out=h)
         cand &= _BIT_LUT[h]
         idxs = np.nonzero(cand)[0]
+        if stats is not None:
+            stats["bloom_probes"] += int(a32.size)
+            stats["bloom_hits"] += int(idxs.size)
+            stats["confirm_binsearches"] += int(idxs.size)
         if idxs.size == 0:
             return idxs
         key = a32[idxs].astype(np.int64) * self.n64 + b32[idxs]
@@ -249,13 +256,37 @@ def _windows(oriented, kernel, rows, vals, idx, ptr, lens):
     return source, starts, counts
 
 
-def _run_kernel(oriented, kernel, collect):
+def _new_stats() -> dict:
+    """Zeroed per-run kernel counters (see :func:`_publish_stats`)."""
+    return {"chunks": 0, "candidates": 0, "bloom_probes": 0,
+            "bloom_hits": 0, "confirm_binsearches": 0}
+
+
+def _publish_stats(stats: dict) -> None:
+    """Fold one run's kernel counters into ``engine.*`` metrics.
+
+    Published once per ``run_numpy`` call (never inside the chunk
+    loop), so the enabled overhead is a handful of dict increments per
+    run; with metrics disabled no stats dict exists at all and the hot
+    path is untouched.
+    """
+    _metrics.inc("engine.runs")
+    _metrics.inc("engine.chunks", stats["chunks"])
+    _metrics.inc("engine.candidates", stats["candidates"])
+    _metrics.inc("engine.bloom_probes", stats["bloom_probes"])
+    _metrics.inc("engine.bloom_hits", stats["bloom_hits"])
+    _metrics.inc("engine.confirm_binsearches",
+                 stats["confirm_binsearches"])
+
+
+def _run_kernel(oriented, kernel, collect, stats=None):
     """Run one vectorized shape; returns ``(count, triangle_batches)``.
 
     The chunk loop is the engine's hot path: everything candidate-sized
     is uint32/int32, window expansion is one ``repeat`` + one
     ``arange`` + one add, and membership goes through the graph
-    cache's Bloom-verified probe.
+    cache's Bloom-verified probe. ``stats`` (only passed while metrics
+    are enabled) accumulates the per-chunk telemetry.
     """
     cache = _graph_cache(oriented)
     if kernel.units == "out":
@@ -289,6 +320,9 @@ def _run_kernel(oriented, kernel, collect):
         if k == 0:
             u0 = u1
             continue
+        if stats is not None:
+            stats["chunks"] += 1
+            stats["candidates"] += k
         cnt = counts[u0:u1]
         base = (starts[u0:u1] - (cum[u0:u1] - cum[u0])).astype(np.int32)
         pos = np.arange(k, dtype=np.int32)
@@ -303,7 +337,7 @@ def _run_kernel(oriented, kernel, collect):
         else:  # "wr"
             a32 = w32
             b32 = np.repeat(rows32[u0:u1], cnt)
-        hits = cache.probe_hits(a32, b32)
+        hits = cache.probe_hits(a32, b32, stats)
         count += hits.size
         if batches is not None and hits.size:
             unit = np.repeat(np.arange(u0, u1, dtype=np.int64), cnt)[hits]
@@ -315,21 +349,23 @@ def _run_kernel(oriented, kernel, collect):
     return count, batches
 
 
-def _count_fast(oriented) -> int:
+def _count_fast(oriented, stats=None) -> tuple[int, bool]:
     """Exact triangle count by the cheapest route available.
 
     Tries the compiled merge-intersection kernel first (identical
     count, ~ns per comparison), then falls back to the cheapest of the
     three vectorized base shapes -- every method lists the same
     triangle set, so count-only work is free to pick its stream.
+    Returns ``(count, used_native)``.
     """
     native_count = _native.count_triangles(oriented)
     if native_count is not None:
-        return native_count
+        return native_count, True
     comps = component_ops(oriented.out_degrees, oriented.in_degrees)
     shape = min(("T1", "T2", "T3"), key=comps.get)
-    count, _ = _run_kernel(oriented, _KERNELS[shape], collect=False)
-    return count
+    count, _ = _run_kernel(oriented, _KERNELS[shape], collect=False,
+                           stats=stats)
+    return count, False
 
 
 def run_numpy(oriented, method: str = "E1",
@@ -355,24 +391,22 @@ def run_numpy(oriented, method: str = "E1",
     comparisons = ops if spec.family in ("vertex", "lei") \
         else comps[_PROBE_COMPONENT[method]]
 
+    stats = _new_stats() if _metrics.is_enabled() else None
     used_native = False
     if collect:
-        count, batches = _run_kernel(oriented, kernel, collect=True)
+        count, batches = _run_kernel(oriented, kernel, collect=True,
+                                     stats=stats)
         if batches:
             stacked = np.concatenate(batches, axis=0)
             triangles = list(map(tuple, stacked.tolist()))
         else:
             triangles = []
     else:
-        native_count = _native.count_triangles(oriented)
-        if native_count is not None:
-            count = native_count
-            used_native = True
-        else:
-            shape = min(("T1", "T2", "T3"), key=comps.get)
-            count, _ = _run_kernel(oriented, _KERNELS[shape],
-                                   collect=False)
+        count, used_native = _count_fast(oriented, stats=stats)
         triangles = None
+    if stats is not None:
+        _publish_stats(stats)
+    _metrics.set_gauge("engine.native", 1.0 if used_native else 0.0)
 
     return ListingResult(
         method=method,

@@ -98,10 +98,25 @@ def _build_library():
 
 
 def available() -> bool:
-    """Whether the compiled kernel is usable in this process."""
+    """Whether the compiled kernel is usable in this process.
+
+    The first call resolves (and caches) the compile attempt, logs the
+    outcome as a structured DEBUG event, and publishes the
+    ``engine.native_available`` gauge when metrics are enabled.
+    """
     global _lib
     if _lib is _UNSET:
         _lib = _build_library()
+        import logging as _stdlog
+
+        from repro.obs import metrics as _metrics
+        from repro.obs.logging import get_logger, log_event
+        log_event(get_logger(__name__), _stdlog.DEBUG,
+                  "native kernel resolution",
+                  available=_lib is not None,
+                  gated=os.environ.get("REPRO_NATIVE", "1"))
+        _metrics.set_gauge("engine.native_available",
+                           1.0 if _lib is not None else 0.0)
     return _lib is not None
 
 

@@ -15,7 +15,12 @@ the parent:
   (:meth:`repro.obs.spans.Span.from_dict`) and folds the counters into
   its registry (:func:`repro.obs.metrics.merge_counters`);
 * ``harness.instances`` is incremented in the parent exactly as
-  :func:`repro.experiments.harness.simulate_cost` does.
+  :func:`repro.experiments.harness.simulate_cost` does;
+* every task reports ``(pid, wall_ns)`` back and the parent publishes
+  per-worker telemetry (``parallel.tasks``, ``parallel.task_ms``,
+  idle share, imbalance ratio -- see
+  :func:`_publish_worker_telemetry`) and annotates the ``cell`` span
+  with it.
 
 Results are bit-for-bit identical for a fixed seed regardless of
 worker count or chunk size: the seed derivation, task order, and
@@ -31,6 +36,7 @@ from __future__ import annotations
 import concurrent.futures
 import math
 import os
+import time
 
 import numpy as np
 
@@ -94,9 +100,15 @@ def _run_one_sequence(task):
     ``bootstrap`` carries the parent's ``(spans_on, metrics_on)``
     flags; the worker enables a fresh obs state, runs, and returns the
     collected span dicts and counter snapshot for the parent to merge.
+
+    Every path also returns a telemetry tuple ``(pid, wall_ns)`` so
+    the parent can attribute per-task wall time to the worker process
+    that executed it (one ``perf_counter_ns`` pair per *sequence*, far
+    outside any hot loop).
     """
     spec, n, seq_index, seed, bootstrap = task
     in_child = bootstrap is not None
+    t0 = time.perf_counter_ns()
     if in_child:
         spans_on, metrics_on = bootstrap
         _spans.reset()
@@ -119,8 +131,9 @@ def _run_one_sequence(task):
                 costs.append(per_node_cost(
                     spec.method, oriented.out_degrees,
                     oriented.in_degrees))
+    tele = (os.getpid(), time.perf_counter_ns() - t0)
     if not in_child:
-        return costs, None, None
+        return costs, None, None, tele
     spans_on, metrics_on = bootstrap
     counters = _metrics.snapshot()["counters"] if metrics_on else None
     span_dicts = ([s.to_dict() for s in _spans.pop_finished()]
@@ -129,7 +142,7 @@ def _run_one_sequence(task):
         _spans.disable()
     if metrics_on:
         _metrics.disable()
-    return costs, counters, span_dicts
+    return costs, counters, span_dicts, tele
 
 
 def simulate_cost_parallel(spec, n: int, seed=0,
@@ -158,6 +171,7 @@ def simulate_cost_parallel(spec, n: int, seed=0,
     with span("cell", method=spec.method,
               permutation=type(spec.permutation).__name__, n=n,
               workers=workers, chunksize=cs) as cell:
+        pool_t0 = time.perf_counter_ns()
         if workers <= 1:
             results = [_run_one_sequence((spec, n, i, s, None))
                        for i, s in enumerate(seeds)]
@@ -169,16 +183,63 @@ def simulate_cost_parallel(spec, n: int, seed=0,
                     max_workers=workers) as pool:
                 results = list(pool.map(_run_one_sequence, tasks,
                                         chunksize=cs))
-            for __, counters, span_dicts in results:
+            for __, counters, span_dicts, __tele in results:
                 if counters:
                     _metrics.merge_counters(counters)
                 if span_dicts and isinstance(cell, Span):
                     cell.children.extend(
                         Span.from_dict(d) for d in span_dicts)
-        all_costs = [c for costs, __, __ in results for c in costs]
+        elapsed_ns = time.perf_counter_ns() - pool_t0
+        all_costs = [c for costs, __, __, __ in results for c in costs]
         cell.annotate(instances=len(all_costs))
+        if _metrics.is_enabled():
+            _publish_worker_telemetry(
+                cell, workers, [tele for *__, tele in results],
+                elapsed_ns)
     _metrics.inc("harness.instances", len(all_costs))
     return float(np.mean(all_costs))
+
+
+def _publish_worker_telemetry(cell, workers: int, teles, elapsed_ns: int
+                              ) -> None:
+    """Fold per-task ``(pid, wall_ns)`` telemetry into the registry.
+
+    Deterministic facts go to *counters* (``parallel.tasks``,
+    ``parallel.cells`` -- bit-identical at any pool geometry);
+    wall-clock facts go to gauges / histograms:
+
+    * ``parallel.task_ms`` (histogram) -- per-sequence wall time;
+    * ``parallel.workers`` -- resolved pool size;
+    * ``parallel.busy_share`` -- sum of task wall time over
+      ``workers * elapsed`` (1.0 = perfectly packed pool);
+    * ``parallel.idle_share`` -- its complement, clamped to [0, 1];
+    * ``parallel.imbalance_ratio`` -- busiest worker's total over the
+      mean worker total (1.0 = perfectly balanced).
+
+    The same numbers land as attributes on the ``cell`` span, so run
+    records carry them per cell as well as in aggregate.
+    """
+    _metrics.inc("parallel.cells")
+    _metrics.inc("parallel.tasks", len(teles))
+    busy_by_pid: dict[int, int] = {}
+    total_busy = 0
+    for pid, wall_ns in teles:
+        _metrics.observe("parallel.task_ms", wall_ns / 1e6)
+        busy_by_pid[pid] = busy_by_pid.get(pid, 0) + wall_ns
+        total_busy += wall_ns
+    busy_share = (total_busy / (workers * elapsed_ns)
+                  if elapsed_ns > 0 else 0.0)
+    idle_share = min(max(1.0 - busy_share, 0.0), 1.0)
+    mean_busy = total_busy / len(busy_by_pid) if busy_by_pid else 0.0
+    imbalance = (max(busy_by_pid.values()) / mean_busy
+                 if mean_busy > 0 else 1.0)
+    _metrics.set_gauge("parallel.workers", workers)
+    _metrics.set_gauge("parallel.busy_share", busy_share)
+    _metrics.set_gauge("parallel.idle_share", idle_share)
+    _metrics.set_gauge("parallel.imbalance_ratio", imbalance)
+    cell.annotate(worker_pids=len(busy_by_pid),
+                  idle_share=round(idle_share, 4),
+                  imbalance_ratio=round(imbalance, 4))
 
 
 def simulated_vs_model_parallel(spec, n: int, seed=0,

@@ -26,6 +26,7 @@ from repro.listing.lookup_iterator import (
     run_lookup_iterator,
     LOOKUP_EDGE_ITERATORS,
 )
+from repro.obs import metrics as _metrics
 from repro.obs.spans import span
 
 #: Every implemented listing method, grouped by family.
@@ -87,6 +88,10 @@ def list_triangles(oriented, method: str = "E1", collect: bool = True,
             result = _run_python(oriented, method, collect)
         sp.annotate(ops=result.ops, triangles=result.count)
     publish_result_metrics(result)
+    # publish the resolved engine as a labelled counter (and not just a
+    # span attribute) so run-history reports can segment cost by engine
+    label = "native" if result.extra.get("native") else engine
+    _metrics.inc(f"lister.engine.{label}")
     return result
 
 

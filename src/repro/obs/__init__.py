@@ -14,6 +14,15 @@ near-free when disabled:
 * :mod:`repro.obs.logging` -- structured stdlib logging with the
   ``REPRO_LOG`` env knob.
 
+Two read-side layers analyze that history (``repro report`` on the
+command line):
+
+* :mod:`repro.obs.report` -- query/aggregation over the JSONL run
+  history (median + MAD across repeats, trend and divergence tables).
+* :mod:`repro.obs.baselines` -- baseline store + comparison engine
+  classifying each cell as improved / unchanged / regressed (the CI
+  perf-regression gate).
+
 Typical use::
 
     from repro import obs
@@ -30,8 +39,11 @@ from __future__ import annotations
 
 import os
 
-from repro.obs import logging as obs_logging
-from repro.obs import metrics, records, spans
+from repro.obs import baselines, logging as obs_logging
+from repro.obs import metrics, records, report, spans
+from repro.obs.baselines import (Baseline, build_baseline, compare,
+                                 has_regressions, load_baseline,
+                                 save_baseline)
 from repro.obs.logging import get_logger, log_event, setup as setup_logging
 from repro.obs.records import (RunRecord, collect, git_revision,
                                listing_result_from_dict,
@@ -41,9 +53,17 @@ from repro.obs.spans import (Span, current_span, format_span_tree,
                              pop_finished, span)
 
 __all__ = [
+    "Baseline",
     "RunRecord",
     "Span",
+    "baselines",
+    "build_baseline",
     "collect",
+    "compare",
+    "has_regressions",
+    "load_baseline",
+    "report",
+    "save_baseline",
     "current_span",
     "disable",
     "enable",

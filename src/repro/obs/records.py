@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import os
 import pathlib
 import subprocess
@@ -170,15 +171,40 @@ def record_run(name: str, config: dict | None = None,
 
 
 def load_records(path=None) -> list[RunRecord]:
-    """Parse every record in the sink (missing file = empty list)."""
+    """Parse every record in the sink (missing file = empty list).
+
+    A truncated or corrupted line (a crashed writer, a partial append)
+    must not take the whole history down: bad lines are skipped and
+    counted, and one structured WARNING summarizes them via
+    :mod:`repro.obs.logging`.
+    """
     sink = runs_path(path)
     if not sink.exists():
         return []
     out = []
-    for line in sink.read_text(encoding="utf-8").splitlines():
+    skipped = 0
+    first_bad: tuple[int, str] | None = None
+    for lineno, line in enumerate(
+            sink.read_text(encoding="utf-8").splitlines(), start=1):
         line = line.strip()
-        if line:
-            out.append(RunRecord.from_dict(json.loads(line)))
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            data = str(exc)
+        if not isinstance(data, dict):
+            skipped += 1
+            if first_bad is None:
+                first_bad = (lineno, str(data))
+            continue
+        out.append(RunRecord.from_dict(data))
+    if skipped:
+        from repro.obs.logging import get_logger, log_event
+        log_event(get_logger(__name__), logging.WARNING,
+                  "skipped corrupted run-record lines", path=str(sink),
+                  skipped=skipped, first_bad_line=first_bad[0],
+                  detail=first_bad[1])
     return out
 
 

@@ -74,6 +74,37 @@ def test_emit_record_carries_spans_and_metrics(common, tmp_path):
     assert root["children"][0]["name"] == "list"
 
 
+def test_emit_honors_runs_file_env(common, tmp_path, monkeypatch):
+    redirected = tmp_path / "isolated" / "history.jsonl"
+    monkeypatch.setenv("REPRO_RUNS_FILE", str(redirected))
+    common.emit("unit", "text", results_dir=tmp_path)
+    assert redirected.exists()
+    assert not (tmp_path / "runs.jsonl").exists()
+    (rec,) = [json.loads(line)
+              for line in redirected.read_text().splitlines()]
+    assert rec["name"] == "unit"
+
+
+def test_sim_rows_for_record(common):
+    from repro.experiments import ComparisonRow
+
+    cells = [("T1+D", "T1", None, None), ("E1+RR", "E1", None, None)]
+    rows = [
+        ComparisonRow(1000, [(10.0, 10.2, 0.02), (5.0, 5.0, 0.0)]),
+        ComparisonRow(3000, [(20.0, 20.4, 0.02), None]),  # missing cell
+        ComparisonRow("inf", [(None, 1.0, None), (None, 2.0, None)]),
+    ]
+    flat = common.sim_rows_for_record(rows, cells)
+    assert flat == [
+        {"label": "T1+D", "n": 1000, "sim": 10.0, "model": 10.2,
+         "error": 0.02},
+        {"label": "E1+RR", "n": 1000, "sim": 5.0, "model": 5.0,
+         "error": 0.0},
+        {"label": "T1+D", "n": 3000, "sim": 20.0, "model": 20.4,
+         "error": 0.02},
+    ]
+
+
 def test_traced_run_restores_disabled_state(common):
     assert not obs.is_enabled()
     with common.traced_run("x"):

@@ -198,6 +198,40 @@ class TestRecords:
     def test_load_missing_file(self, tmp_path):
         assert records.load_records(tmp_path / "nope.jsonl") == []
 
+    def test_corrupted_line_skipped_with_warning(self, tmp_path, caplog):
+        sink = tmp_path / "runs.jsonl"
+        records.write_record(records.RunRecord("one"), sink)
+        with open(sink, "a", encoding="utf-8") as fh:
+            fh.write('{"name": "torn", "config": {"tru\n')  # torn append
+        records.write_record(records.RunRecord("two"), sink)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            loaded = records.load_records(sink)
+        assert [r.name for r in loaded] == ["one", "two"]
+        (warning,) = [r for r in caplog.records
+                      if r.levelno == logging.WARNING]
+        assert warning.getMessage() == \
+            "skipped corrupted run-record lines"
+        assert warning.fields["skipped"] == 1
+        assert warning.fields["first_bad_line"] == 2
+
+    def test_non_dict_line_skipped(self, tmp_path, caplog):
+        sink = tmp_path / "runs.jsonl"
+        sink.write_text('[1, 2, 3]\n"scalar"\n')
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert records.load_records(sink) == []
+        (warning,) = [r for r in caplog.records
+                      if r.levelno == logging.WARNING]
+        assert warning.fields["skipped"] == 2
+        assert warning.fields["first_bad_line"] == 1
+
+    def test_clean_file_warns_nothing(self, tmp_path, caplog):
+        sink = tmp_path / "runs.jsonl"
+        records.write_record(records.RunRecord("one"), sink)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            records.load_records(sink)
+        assert not [r for r in caplog.records
+                    if r.levelno >= logging.WARNING]
+
     def test_append_semantics(self, tmp_path):
         sink = tmp_path / "deep" / "runs.jsonl"  # parents created
         records.write_record(records.RunRecord("one"), sink)

@@ -162,3 +162,53 @@ class TestObsParity:
         assert pooled["harness.instances"] == 8
         assert pooled["orient.edges"] == serial["orient.edges"] > 0
         assert pooled["orient.runs"] == serial["orient.runs"] == 8
+
+
+class TestWorkerTelemetry:
+    """The pool publishes per-worker telemetry into the parent obs.
+
+    Contract (the perf-gate relies on it): deterministic facts are
+    *counters* and bit-identical at any pool geometry; wall-clock
+    facts are gauges/histograms and never gate.
+    """
+
+    def _run(self, max_workers):
+        obs.enable()
+        obs.reset()
+        try:
+            with obs.span("root"):
+                simulate_cost_parallel(_spec(n_sequences=4), 400,
+                                       seed=21, max_workers=max_workers)
+            (root,) = obs.pop_finished()
+            snap = obs.metrics_snapshot()
+        finally:
+            obs.disable()
+        (cell,) = root.children
+        return cell, snap
+
+    def test_counters_identical_across_worker_counts(self):
+        __, serial = self._run(1)
+        __, pooled = self._run(4)
+        assert serial["counters"] == pooled["counters"]
+        assert pooled["counters"]["parallel.tasks"] == 4  # n_sequences
+        assert pooled["counters"]["parallel.cells"] == 1
+
+    @pytest.mark.parametrize("max_workers", [1, 4])
+    def test_gauges_and_histogram(self, max_workers):
+        cell, snap = self._run(max_workers)
+        gauges = snap["gauges"]
+        assert gauges["parallel.workers"] == max_workers
+        assert 0.0 <= gauges["parallel.idle_share"] <= 1.0
+        assert gauges["parallel.imbalance_ratio"] >= 1.0
+        assert snap["histograms"]["parallel.task_ms"]["count"] == 4
+        assert cell.attrs["worker_pids"] >= 1
+        assert cell.attrs["idle_share"] == pytest.approx(
+            gauges["parallel.idle_share"], abs=1e-4)
+
+    def test_disabled_publishes_nothing(self):
+        obs.disable()
+        obs.reset()
+        simulate_cost_parallel(_spec(n_sequences=4), 400, seed=21,
+                               max_workers=2)
+        snap = obs.metrics_snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
