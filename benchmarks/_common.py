@@ -14,6 +14,9 @@ relabel/orient/list timings), the metrics snapshot, and the run config.
 
 Scale control: set ``REPRO_BENCH_FULL=1`` to use larger ``n`` grids and
 more Monte-Carlo instances (slower, closer to the paper's setup).
+``REPRO_BENCH_EXPORT=1`` additionally drops ``<name>.trace.json``
+(Chrome trace-event) and ``<name>.flame.txt`` (collapsed stacks)
+viewer artifacts next to each table.
 """
 
 from __future__ import annotations
@@ -95,7 +98,16 @@ def emit(name: str, text: str, results_dir=None,
         record_path = obs.records.runs_path()
     else:
         record_path = out_dir / "runs.jsonl"
-    obs.record_run(name, config=config, path=record_path)
+    record = obs.collect(name, config=config)
+    obs.records.write_record(record, record_path)
+    # REPRO_BENCH_EXPORT=1 drops viewer-ready artifacts next to the
+    # table: Chrome trace-event JSON and collapsed flame stacks of the
+    # spans this very run just recorded (CI uploads them).
+    if os.environ.get("REPRO_BENCH_EXPORT", "").strip() == "1" \
+            and record.spans:
+        obs.write_trace([record], out_dir / f"{name}.trace.json")
+        obs.write_collapsed([record], out_dir / f"{name}.flame.txt",
+                            source="spans")
     return path
 
 

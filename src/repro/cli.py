@@ -11,11 +11,15 @@ Subcommands::
     repro sweep      parallel Monte-Carlo sim-vs-model sweep over n
     repro profile    phase-time breakdown over a method/order grid
     repro report     run-history analytics & the perf-regression gate
-                     (trends | baseline | compare | divergence)
+                     (trends | baseline | compare | divergence | html)
+    repro export     recorded runs -> Chrome trace JSON / flame stacks
+                     (trace | flame)
 
 Every subcommand accepts ``--trace`` (print the span tree and metric
 counters after the run; add ``--trace-memory`` for tracemalloc peaks).
-``repro --version`` prints the package version.
+``REPRO_PROFILE=1`` additionally attaches top-K cProfile stats to every
+top-level span while tracing. ``repro --version`` prints the package
+version.
 
 Examples::
 
@@ -223,10 +227,16 @@ def cmd_sweep(args) -> int:
     streams derive from ``--seed`` via ``SeedSequence.spawn``, so the
     rows are bit-for-bit identical for any ``--workers`` /
     ``--chunksize`` setting.
+
+    ``--record PATH`` appends the full run record (span trees with the
+    merged worker subtrees, metric snapshot, sim-vs-model rows) to a
+    JSONL file -- the input ``repro export`` and ``repro report``
+    consume.
     """
     from repro.experiments.harness import SimulationSpec
     from repro.experiments.parallel import (resolve_workers,
                                             sweep_n_parallel)
+    from repro.obs import records as obs_records
 
     dist = _dist_from_args(args)
     trunc = (root_truncation if args.truncation == "root"
@@ -241,6 +251,11 @@ def cmd_sweep(args) -> int:
         n_sequences=args.sequences, n_graphs=args.graphs,
         generator=args.generator)
     workers = resolve_workers(args.workers, args.sequences)
+    recording = bool(args.record)
+    was_enabled = obs.is_enabled()
+    if recording:
+        obs.enable(memory=getattr(args, "trace_memory", False))
+        obs.spans.pop_finished()
     rows = sweep_n_parallel(spec, ns, seed=args.seed,
                             max_workers=args.workers,
                             chunksize=args.chunksize)
@@ -252,6 +267,19 @@ def cmd_sweep(args) -> int:
     for row in rows:
         print(f"{row['n']:>9} {row['sim']:>12.4f} "
               f"{row['model']:>12.4f} {100 * row['error']:>7.1f}%")
+    if recording:
+        label = f"{spec.method}+{args.order}"
+        record = obs_records.collect(
+            "sweep",
+            config={"method": spec.method, "order": args.order,
+                    "alpha": args.alpha, "truncation": args.truncation,
+                    "sequences": args.sequences, "graphs": args.graphs,
+                    "workers": workers, "seed": args.seed,
+                    "rows": [{"label": label, **row} for row in rows]})
+        path = obs_records.write_record(record, args.record)
+        print(f"\nrun record appended to {path}")
+        if not was_enabled:
+            obs.disable()
     return 0
 
 
@@ -261,7 +289,10 @@ def cmd_profile(args) -> int:
     Relabel + orient + list each (method, order) combination with the
     observability layer enabled and print a per-phase wall-clock
     breakdown built from the recorded span trees -- the same data the
-    JSONL run records carry. ``--record PATH`` appends the full record.
+    JSONL run records carry. ``--record PATH`` appends the full record;
+    ``--trace-out`` / ``--flame-out`` export the same spans straight to
+    Chrome trace-event JSON / collapsed flame stacks (with
+    ``REPRO_PROFILE=1``, per-span cProfile attribution rides along).
     """
     from repro.distributions.sampling import sample_degree_sequence
     from repro.obs import records as obs_records
@@ -313,27 +344,56 @@ def cmd_profile(args) -> int:
         print(f"{method:>7} {order:>11} {relabel:>11.3f} "
               f"{orient_ms:>10.3f} {list_ms:>10.3f} {total:>10.3f} "
               f"{ops:>12} {tri:>10}")
-    if args.record:
+    if args.record or args.trace_out or args.flame_out:
         record = obs_records.collect(
             "profile",
             config={"source": source, "n": graph.n, "m": graph.m,
                     "seed": args.seed, "methods": methods,
                     "orders": orders},
             spans=roots)
-        path = obs_records.write_record(record, args.record)
-        print(f"\nrun record appended to {path}")
+        if args.record:
+            path = obs_records.write_record(record, args.record)
+            print(f"\nrun record appended to {path}")
+        if args.trace_out:
+            path = obs.write_trace([record], args.trace_out)
+            print(f"trace-event JSON written to {path} "
+                  f"(open in https://ui.perfetto.dev)")
+        if args.flame_out:
+            source_kind = ("profile" if any(r.profile for r in roots)
+                           else "spans")
+            path = obs.write_collapsed([record], args.flame_out,
+                                       source=source_kind)
+            print(f"collapsed {source_kind} stacks written to {path} "
+                  f"(flamegraph.pl / speedscope)")
     return 0
 
 
 def _report_records(args):
-    """Load + filter the run history for the ``report`` subcommands."""
+    """Load + filter the run history for ``report`` / ``export``.
+
+    An empty or missing history is a usage error for every consumer:
+    exits non-zero with a clear message (no traceback) naming the sink
+    that was read and, when filters ate everything, what they dropped.
+    """
     from repro.obs import records as obs_records
     from repro.obs import report as obs_report
+    sink = obs_records.runs_path(args.runs)
     records = obs_records.load_records(args.runs)
-    return obs_report.filter_records(
+    if not records:
+        raise SystemExit(
+            f"no run records in {sink}; produce some first (repro "
+            f"sweep/profile --record, or the benchmarks) or point "
+            f"--runs/REPRO_RUNS_FILE at an existing history")
+    filtered = obs_report.filter_records(
         records, names=args.name or None,
         git_rev=getattr(args, "git_rev", None),
         last=getattr(args, "last", None))
+    if not filtered:
+        raise SystemExit(
+            f"no run records matched the filters in {sink} "
+            f"({len(records)} record(s) total); loosen --name/"
+            f"--git-rev/--last")
+    return filtered
 
 
 def cmd_report(args) -> int:
@@ -344,35 +404,58 @@ def cmd_report(args) -> int:
     error cells; ``baseline`` freezes the aggregated history to a JSON
     file; ``compare`` classifies the history against such a baseline
     and (with ``--fail-on-regress``) exits non-zero on regressions --
-    the CI perf gate.
+    the CI perf gate; ``html`` renders the whole history (plus an
+    optional baseline comparison) into one self-contained dashboard.
+    ``--json`` switches trends/divergence/compare to machine-readable
+    output.
     """
+    import dataclasses
+    import json
+
     from repro.obs import baselines as obs_baselines
     from repro.obs import report as obs_report
 
     records = _report_records(args)
     if args.report_command == "trends":
-        print(obs_report.format_trends(obs_report.trend_rows(records)))
+        rows = obs_report.trend_rows(records)
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(obs_report.format_trends(rows))
         return 0
     if args.report_command == "divergence":
         rows = obs_report.divergence_rows(records)
-        print(obs_report.format_divergence(rows))
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(obs_report.format_divergence(rows))
         if args.fail_over is not None:
             worst = max((abs(r["error"]) for r in rows), default=0.0)
             if worst > args.fail_over:
                 print(f"FAIL: worst |error| {100 * worst:.1f}% exceeds "
-                      f"--fail-over {100 * args.fail_over:.1f}%")
+                      f"--fail-over {100 * args.fail_over:.1f}%",
+                      file=sys.stderr)
                 return 1
         return 0
     if args.report_command == "baseline":
-        if not records:
-            sink = args.runs or "the default sink"
-            raise SystemExit(f"no run records matched in {sink}; "
-                             f"run a benchmark first")
         baseline = obs_baselines.build_baseline(records,
                                                 label=args.label)
         path = obs_baselines.save_baseline(baseline, args.out)
         print(f"baseline over {len(records)} record(s) / "
               f"{len(baseline.names())} bench(es) written to {path}")
+        return 0
+    if args.report_command == "html":
+        deltas = baseline_meta = None
+        if args.baseline:
+            baseline = obs_baselines.load_baseline(args.baseline)
+            deltas = obs_baselines.compare(records, baseline)
+            baseline_meta = baseline.meta
+        from repro.obs import dashboard as obs_dashboard
+        path = obs_dashboard.write_dashboard(
+            records, args.out, deltas=deltas,
+            baseline_meta=baseline_meta, title=args.title)
+        print(f"dashboard over {len(records)} record(s) written to "
+              f"{path}")
         return 0
     # compare
     baseline = obs_baselines.load_baseline(args.baseline)
@@ -380,15 +463,60 @@ def cmd_report(args) -> int:
         records, baseline, rtol_time=args.rtol_time,
         rtol_value=args.rtol_value, atol_error=args.atol_error,
         include_time=not args.no_time)
-    print(obs_baselines.format_deltas(deltas, show=args.show,
-                                      baseline_meta=baseline.meta))
-    if obs_baselines.has_regressions(deltas):
+    regressed = obs_baselines.has_regressions(deltas)
+    if args.json:
+        print(json.dumps({
+            "baseline": dict(baseline.meta),
+            "summary": obs_baselines.summarize_deltas(deltas),
+            "regressed": regressed,
+            "deltas": [dataclasses.asdict(d) for d in deltas],
+        }, indent=2))
+    else:
+        print(obs_baselines.format_deltas(deltas, show=args.show,
+                                          baseline_meta=baseline.meta))
+    if regressed:
         if args.fail_on_regress:
-            print("FAIL: regressions detected against "
-                  f"{args.baseline}")
+            print(f"FAIL: regressions detected against {args.baseline}",
+                  file=sys.stderr)
             return 1
-        print("WARNING: regressions detected (pass --fail-on-regress "
-              "to gate on them)")
+        if not args.json:
+            print("WARNING: regressions detected (pass "
+                  "--fail-on-regress to gate on them)")
+    return 0
+
+
+def cmd_export(args) -> int:
+    """``repro export``: recorded runs -> standard viewer formats.
+
+    ``trace`` emits Chrome trace-event JSON (validated before writing;
+    open in Perfetto or ``chrome://tracing``); ``flame`` emits
+    collapsed stacks for ``flamegraph.pl`` / speedscope, weighted by
+    span self-time (``--source spans``) or attached ``REPRO_PROFILE``
+    cProfile stats (``--source profile``).
+    """
+    from repro.obs import export as obs_export
+
+    records = _report_records(args)
+    if args.export_command == "trace":
+        trace = obs_export.records_to_trace(records)
+        n_events = obs_export.validate_trace(trace)
+        path = obs_export.write_trace(records, args.out)
+        print(f"{n_events} trace event(s) over {len(records)} "
+              f"record(s) written to {path} "
+              f"(open in https://ui.perfetto.dev)")
+        return 0
+    # flame
+    lines = obs_export.collapsed_stacks(records, source=args.source)
+    if not lines:
+        raise SystemExit(
+            f"no {args.source} stacks in the selected records"
+            + ("" if args.source == "spans"
+               else " (record with REPRO_PROFILE=1 to attach "
+                    "cProfile attribution)"))
+    path = obs_export.write_collapsed(records, args.out,
+                                      source=args.source)
+    print(f"{len(lines)} collapsed stack(s) written to {path} "
+          f"(flamegraph.pl / speedscope)")
     return 0
 
 
@@ -532,6 +660,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="root")
     p.add_argument("--generator", choices=("residual", "configuration"),
                    default="residual")
+    p.add_argument("--record", default=None, metavar="PATH",
+                   help="append the full run record (spans incl. "
+                        "worker trees, metrics, sim-vs-model rows) to "
+                        "this JSONL file")
     p.set_defaults(func=cmd_sweep)
 
     p = add_parser("report",
@@ -557,6 +689,8 @@ def build_parser() -> argparse.ArgumentParser:
         "trends", help="wall-clock & counter trajectory per git rev")
     rp.add_argument("--git-rev", default=None,
                     help="restrict to one git revision")
+    rp.add_argument("--json", action="store_true",
+                    help="print the trend rows as JSON")
 
     rp = add_report_parser(
         "baseline", help="freeze the aggregated history to a JSON file")
@@ -594,6 +728,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print only changed cells (default) or all")
     rp.add_argument("--git-rev", default=None,
                     help="restrict to records of one git revision")
+    rp.add_argument("--json", action="store_true",
+                    help="print summary + every delta as JSON")
 
     rp = add_report_parser(
         "divergence", help="model-vs-simulation error table")
@@ -601,6 +737,53 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="ERR",
                     help="exit non-zero if any cell's median |error| "
                          "exceeds this fraction")
+    rp.add_argument("--json", action="store_true",
+                    help="print the divergence rows as JSON")
+
+    rp = add_report_parser(
+        "html", help="self-contained HTML dashboard over the history")
+    rp.add_argument("--out", required=True, metavar="FILE",
+                    help="dashboard HTML file to write")
+    rp.add_argument("--baseline", default=None, metavar="FILE",
+                    help="also compare against this baseline and show "
+                         "the verdicts")
+    rp.add_argument("--title", default="repro run history",
+                    help="page title")
+    rp.add_argument("--git-rev", default=None,
+                    help="restrict to records of one git revision")
+
+    p = add_parser("export",
+                   help="recorded runs -> Chrome trace JSON / flame "
+                        "stacks")
+    esub = p.add_subparsers(dest="export_command", required=True)
+
+    def add_export_parser(name, **kwargs):
+        ep = esub.add_parser(name, **kwargs)
+        ep.add_argument("--runs", default=None, metavar="PATH",
+                        help="runs.jsonl to read (default: "
+                             "REPRO_RUNS_FILE or "
+                             "benchmarks/results/runs.jsonl)")
+        ep.add_argument("--name", action="append", default=None,
+                        metavar="PATTERN",
+                        help="only benches matching this fnmatch "
+                             "pattern (repeatable)")
+        ep.add_argument("--last", type=int, default=None, metavar="K",
+                        help="only the most recent K records per bench")
+        ep.add_argument("--out", required=True, metavar="FILE",
+                        help="output file to write")
+        ep.set_defaults(func=cmd_export)
+        return ep
+
+    add_export_parser(
+        "trace",
+        help="Chrome trace-event JSON (Perfetto / chrome://tracing)")
+    ep = add_export_parser(
+        "flame",
+        help="collapsed stacks (flamegraph.pl / speedscope)")
+    ep.add_argument("--source", choices=("spans", "profile"),
+                    default="spans",
+                    help="weight by span self-time (default) or "
+                         "attached REPRO_PROFILE cProfile stats")
 
     p = add_parser("profile",
                    help="phase-time breakdown over a method/order grid")
@@ -622,6 +805,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--record", default=None, metavar="PATH",
                    help="also append the full run record to this JSONL "
                         "file")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="also write Chrome trace-event JSON of the "
+                        "profiled spans")
+    p.add_argument("--flame-out", default=None, metavar="FILE",
+                   help="also write collapsed flame stacks of the "
+                        "profiled spans")
     p.set_defaults(func=cmd_profile)
     return parser
 

@@ -120,7 +120,11 @@ def _run_one_sequence(task):
     rng = np.random.default_rng(seed)
     dist_n = spec.base_dist.truncate(spec.truncation(n))
     costs = []
-    with span("sequence", index=seq_index, n=n):
+    with span("sequence", index=seq_index, n=n) as seq_span:
+        if in_child:
+            # Marks the reattached subtree with its worker process so
+            # the trace exporter can lay it on its own thread row.
+            seq_span.annotate(worker_pid=os.getpid())
         with span("sample", n=n):
             degrees = sample_degree_sequence(dist_n, n, rng)
         for __ in range(spec.n_graphs):

@@ -23,6 +23,16 @@ command line):
   classifying each cell as improved / unchanged / regressed (the CI
   perf-regression gate).
 
+And three export layers turn it into artifacts for standard viewers:
+
+* :mod:`repro.obs.export` -- Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and collapsed-stack flame-graph text
+  (``repro export trace|flame``).
+* :mod:`repro.obs.profiling` -- per-top-level-span :mod:`cProfile`
+  attribution behind the ``REPRO_PROFILE`` knob.
+* :mod:`repro.obs.dashboard` -- self-contained static HTML run-history
+  dashboard (``repro report html``).
+
 Typical use::
 
     from repro import obs
@@ -39,11 +49,16 @@ from __future__ import annotations
 
 import os
 
-from repro.obs import baselines, logging as obs_logging
-from repro.obs import metrics, records, report, spans
+from repro.obs import baselines, dashboard, export
+from repro.obs import logging as obs_logging
+from repro.obs import metrics, profiling, records, report, spans
 from repro.obs.baselines import (Baseline, build_baseline, compare,
                                  has_regressions, load_baseline,
                                  save_baseline)
+from repro.obs.dashboard import render_dashboard, write_dashboard
+from repro.obs.export import (collapsed_stacks, records_to_trace,
+                              validate_trace, write_collapsed,
+                              write_trace)
 from repro.obs.logging import get_logger, log_event, setup as setup_logging
 from repro.obs.records import (RunRecord, collect, git_revision,
                                listing_result_from_dict,
@@ -58,8 +73,11 @@ __all__ = [
     "Span",
     "baselines",
     "build_baseline",
+    "collapsed_stacks",
     "collect",
     "compare",
+    "dashboard",
+    "export",
     "has_regressions",
     "load_baseline",
     "report",
@@ -80,22 +98,34 @@ __all__ = [
     "metrics_snapshot",
     "obs_logging",
     "pop_finished",
+    "profiling",
     "record_run",
     "records",
+    "records_to_trace",
+    "render_dashboard",
     "reset",
     "reset_metrics",
     "setup_logging",
     "span",
     "spans",
+    "validate_trace",
+    "write_collapsed",
+    "write_dashboard",
     "write_record",
+    "write_trace",
 ]
 
 _TRUTHY = {"1", "true", "yes", "on"}
 
 
-def enable(memory: bool = False) -> None:
-    """Enable span collection and metric publication together."""
-    spans.enable(memory=memory)
+def enable(memory: bool = False, profile: int | None = None) -> None:
+    """Enable span collection and metric publication together.
+
+    ``profile`` forwards to :func:`repro.obs.spans.enable`: top-K
+    cProfile attribution per top-level span (``None`` consults the
+    ``REPRO_PROFILE`` environment knob).
+    """
+    spans.enable(memory=memory, profile=profile)
     metrics.enable()
 
 

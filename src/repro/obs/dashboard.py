@@ -1,0 +1,622 @@
+"""Self-contained static HTML dashboard over the run history.
+
+:func:`render_dashboard` turns a list of
+:class:`~repro.obs.records.RunRecord` (plus an optional baseline
+comparison) into **one** HTML file with inline CSS and inline SVG --
+no scripts, no external fetches, nothing to install -- so the CI
+perf-gate can upload it as a browsable artifact and `repro report
+html` can hand it to anyone.
+
+Sections:
+
+* headline stat tiles (records, benches, latest revision, worst
+  model divergence, Bloom-filter hit rate, pool imbalance);
+* per-bench wall-clock trend columns across git revisions;
+* per-bench phase breakdown (stacked relabel/orient/list/... bars);
+* sim-vs-model divergence curves over ``n`` per table cell;
+* baseline-comparison verdicts (improved/unchanged/regressed...);
+* worker task-time percentiles (p50/p95/p99 of ``parallel.task_ms``).
+
+Every chart ships a ``<details>`` table view of the same numbers, a
+legend whenever more than one series is on screen, and native SVG
+``<title>`` tooltips; colors come from a CVD-validated palette with a
+selected dark mode (``prefers-color-scheme`` + ``data-theme``).
+"""
+
+from __future__ import annotations
+
+import html
+import math
+import time
+
+from repro.obs import report as _report
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+#: Categorical palette (validated order; light/dark are selected steps
+#: of the same hues, not an automatic flip).
+_SERIES_LIGHT = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+                 "#e87ba4", "#008300", "#4a3aa7", "#e34948")
+_SERIES_DARK = ("#3987e5", "#d95926", "#199e70", "#c98500",
+                "#d55181", "#008300", "#9085e9", "#e66767")
+
+#: Status palette (fixed, never reused for series).
+_STATUS = {"improved": "good", "unchanged": "neutral",
+           "regressed": "critical", "added": "warning",
+           "missing": "warning"}
+_STATUS_ICON = {"improved": "&#9650;", "unchanged": "&#8211;",
+                "regressed": "&#9660;", "added": "+", "missing": "?"}
+
+_CHART_W = 560
+_CHART_H = 220
+_PAD = {"left": 64, "right": 16, "top": 12, "bottom": 30}
+
+
+def _esc(value) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value, digits: int = 2) -> str:
+    """Compact human number (1,284 / 12.9K / 4.2M)."""
+    if value is None:
+        return "--"
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return _esc(value)
+    if not math.isfinite(value):
+        return "inf"
+    mag = abs(value)
+    for cut, suffix in ((1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if mag >= cut:
+            return f"{value / cut:.1f}{suffix}"
+    if mag >= 100 or value == int(value):
+        return f"{value:,.0f}"
+    return f"{value:.{digits}f}"
+
+
+def _ticks(lo: float, hi: float, count: int = 4) -> list[float]:
+    """Clean-number axis ticks covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(count, 1)
+    mag = 10 ** math.floor(math.log10(raw)) if raw > 0 else 1.0
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + step * 0.5:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _grid_and_yaxis(ticks, y_of, fmt=lambda v: _fmt(v)) -> list[str]:
+    parts = []
+    x0, x1 = _PAD["left"], _CHART_W - _PAD["right"]
+    for t in ticks:
+        y = y_of(t)
+        parts.append(f'<line class="grid" x1="{x0}" y1="{y:.1f}" '
+                     f'x2="{x1}" y2="{y:.1f}"/>')
+        parts.append(f'<text class="tick" x="{x0 - 6}" y="{y + 3:.1f}" '
+                     f'text-anchor="end">{_esc(fmt(t))}</text>')
+    return parts
+
+
+def _svg(body: list[str], height: int = _CHART_H,
+         label: str = "") -> str:
+    return (f'<svg viewBox="0 0 {_CHART_W} {height}" role="img" '
+            f'aria-label="{_esc(label)}" '
+            f'preserveAspectRatio="xMinYMin meet">'
+            + "".join(body) + "</svg>")
+
+
+def _column_chart(points, unit: str = "ms", label: str = "") -> str:
+    """Single-series columns: (x label, value, tooltip) triples.
+
+    One series -> slot 1, no legend (the section title names it);
+    4px-rounded data end, square baseline, <=24px thick columns.
+    """
+    if not points:
+        return ""
+    top = max(v for _, v, _ in points)
+    ticks = _ticks(0.0, top)
+    y_lo, y_hi = _CHART_H - _PAD["bottom"], _PAD["top"]
+    span = ticks[-1] if ticks[-1] > 0 else 1.0
+
+    def y_of(v):
+        return y_lo - (v / span) * (y_lo - y_hi)
+
+    body = _grid_and_yaxis(ticks, y_of)
+    x0, x1 = _PAD["left"], _CHART_W - _PAD["right"]
+    band = (x1 - x0) / len(points)
+    width = min(24.0, band * 0.6)
+    for i, (name, value, tip) in enumerate(points):
+        cx = x0 + band * (i + 0.5)
+        x = cx - width / 2
+        y = y_of(value)
+        h = max(y_lo - y, 0.0)
+        r = min(4.0, width / 2, h)
+        body.append(
+            f'<path class="mark" fill="var(--series-1)" d="M{x:.1f} '
+            f'{y_lo:.1f} V{y + r:.1f} Q{x:.1f} {y:.1f} {x + r:.1f} '
+            f'{y:.1f} H{x + width - r:.1f} Q{x + width:.1f} {y:.1f} '
+            f'{x + width:.1f} {y + r:.1f} V{y_lo:.1f} Z">'
+            f'<title>{_esc(tip)}</title></path>')
+        body.append(f'<text class="tick" x="{cx:.1f}" '
+                    f'y="{y_lo + 14}" text-anchor="middle">'
+                    f'{_esc(name)}</text>')
+    body.append(f'<line class="axis" x1="{x0}" y1="{y_lo}" '
+                f'x2="{x1}" y2="{y_lo}"/>')
+    body.append(f'<text class="tick" x="{x0 - 6}" y="{_PAD["top"]}" '
+                f'text-anchor="end">{_esc(unit)}</text>')
+    return _svg(body, label=label)
+
+
+def _stacked_hbar(rows, series, unit: str = "ms",
+                  label: str = "") -> str:
+    """Horizontal stacked bars: rows = (name, {series: value}).
+
+    Series colors follow the fixed categorical order; touching
+    segments separate with a 2px surface gap, never a stroke.
+    """
+    if not rows or not series:
+        return ""
+    totals = [sum(vals.get(s, 0.0) for s in series)
+              for _, vals in rows]
+    span = max(max(totals), 1e-9)
+    ticks = _ticks(0.0, span)
+    span = ticks[-1]
+    row_h, gap_y = 26, 10
+    height = _PAD["top"] + len(rows) * (row_h + gap_y) + 24
+    x0, x1 = _PAD["left"] + 40, _CHART_W - _PAD["right"]
+
+    def x_of(v):
+        return x0 + (v / span) * (x1 - x0)
+
+    body = []
+    for t in ticks:
+        x = x_of(t)
+        body.append(f'<line class="grid" x1="{x:.1f}" '
+                    f'y1="{_PAD["top"]}" x2="{x:.1f}" '
+                    f'y2="{height - 22}"/>')
+        body.append(f'<text class="tick" x="{x:.1f}" y="{height - 8}" '
+                    f'text-anchor="middle">{_esc(_fmt(t))}</text>')
+    for i, (name, vals) in enumerate(rows):
+        y = _PAD["top"] + i * (row_h + gap_y)
+        body.append(f'<text class="tick" x="{x0 - 8}" '
+                    f'y="{y + row_h / 2 + 3:.1f}" text-anchor="end">'
+                    f'{_esc(name)}</text>')
+        cx = x0
+        for k, s in enumerate(series):
+            value = vals.get(s, 0.0)
+            if value <= 0:
+                continue
+            w = (value / span) * (x1 - x0)
+            body.append(
+                f'<rect class="mark" x="{cx + 1:.1f}" y="{y}" '
+                f'width="{max(w - 2, 0.5):.1f}" height="{row_h - 8}" '
+                f'fill="var(--series-{k % 8 + 1})">'
+                f'<title>{_esc(name)} &#183; {_esc(s)}: '
+                f'{_fmt(value)} {unit}</title></rect>')
+            cx += w
+    body.append(f'<line class="axis" x1="{x0}" y1="{_PAD["top"]}" '
+                f'x2="{x0}" y2="{height - 22}"/>')
+    return _svg(body, height=height, label=label)
+
+
+def _line_chart(series, unit: str = "%", label: str = "",
+                log_x: bool = True) -> str:
+    """Multi-series lines: ``{name: [(x, y), ...]}`` (x ascending).
+
+    2px round-capped lines, >=8px end markers with a 2px surface
+    ring, direct end labels when few series (the legend rides in
+    HTML below the chart either way).
+    """
+    series = {k: v for k, v in series.items() if v}
+    if not series:
+        return ""
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    ys = [y for pts in series.values() for _, y in pts]
+    ticks = _ticks(min(min(ys), 0.0), max(max(ys), 0.0))
+    y_lo, y_hi = _CHART_H - _PAD["bottom"], _PAD["top"]
+    t0, t1 = ticks[0], ticks[-1]
+
+    def y_of(v):
+        return y_lo - ((v - t0) / (t1 - t0 or 1.0)) * (y_lo - y_hi)
+
+    def x_pos(x):
+        if log_x and min(xs) > 0:
+            lo, hi = math.log10(min(xs)), math.log10(max(xs))
+            frac = ((math.log10(x) - lo) / (hi - lo)) if hi > lo \
+                else 0.5
+        else:
+            lo, hi = min(xs), max(xs)
+            frac = ((x - lo) / (hi - lo)) if hi > lo else 0.5
+        return _PAD["left"] + frac * (_CHART_W - _PAD["left"]
+                                      - _PAD["right"] - 40)
+
+    body = _grid_and_yaxis(ticks, y_of,
+                           fmt=lambda v: f"{_fmt(v)}{unit}")
+    for x in xs:
+        body.append(f'<text class="tick" x="{x_pos(x):.1f}" '
+                    f'y="{y_lo + 14}" text-anchor="middle">'
+                    f'n={_fmt(x)}</text>')
+    if t0 < 0 < t1:
+        body.append(f'<line class="axis" x1="{_PAD["left"]}" '
+                    f'y1="{y_of(0):.1f}" '
+                    f'x2="{_CHART_W - _PAD["right"]}" '
+                    f'y2="{y_of(0):.1f}"/>')
+    for k, (name, pts) in enumerate(series.items()):
+        color = f"var(--series-{k % 8 + 1})"
+        coords = [(x_pos(x), y_of(y)) for x, y in pts]
+        d = "M" + " L".join(f"{x:.1f} {y:.1f}" for x, y in coords)
+        body.append(f'<path class="line" d="{d}" stroke="{color}"/>')
+        for (x, y), (xv, yv) in zip(coords, pts):
+            body.append(
+                f'<circle class="dot" cx="{x:.1f}" cy="{y:.1f}" '
+                f'r="4" fill="{color}"><title>{_esc(name)} &#183; '
+                f'n={_fmt(xv)}: {yv:+.2f}{unit}</title></circle>')
+        if len(series) <= 4 and coords:
+            ex, ey = coords[-1]
+            body.append(f'<text class="endlabel" x="{ex + 8:.1f}" '
+                        f'y="{ey + 3:.1f}">{_esc(name)}</text>')
+    return _svg(body, label=label)
+
+
+def _legend(names) -> str:
+    if len(names) < 2:
+        return ""
+    items = "".join(
+        f'<span class="key"><span class="swatch" '
+        f'style="background:var(--series-{k % 8 + 1})"></span>'
+        f'{_esc(name)}</span>'
+        for k, name in enumerate(names))
+    return f'<div class="legend">{items}</div>'
+
+
+def _table(headers, rows) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in row) + "</tr>"
+        for row in rows)
+    return (f'<details><summary>table view</summary>'
+            f'<table><thead><tr>{head}</tr></thead>'
+            f'<tbody>{body}</tbody></table></details>')
+
+
+def _tile(label: str, value: str, note: str = "") -> str:
+    note_html = f'<div class="note">{_esc(note)}</div>' if note else ""
+    return (f'<div class="tile"><div class="label">{_esc(label)}</div>'
+            f'<div class="value">{value}</div>{note_html}</div>')
+
+
+def _section(title: str, body: str, note: str = "") -> str:
+    note_html = f'<p class="note">{_esc(note)}</p>' if note else ""
+    return (f'<section><h2>{_esc(title)}</h2>{note_html}{body}'
+            f'</section>')
+
+
+# ----------------------------------------------------------- sections
+
+def _headline_tiles(records, div_rows) -> str:
+    revs = [r.meta.get("git_rev") for r in records
+            if r.meta.get("git_rev")]
+    worst = max((abs(r["error"]) for r in div_rows), default=None)
+    latest = None
+    for rec in records:  # newest metrics snapshot that has counters
+        if (rec.metrics or {}).get("counters"):
+            latest = rec
+    tiles = [
+        _tile("Run records", _fmt(len(records))),
+        _tile("Benches", _fmt(len({r.name for r in records}))),
+        _tile("Latest revision", _esc(revs[-1]) if revs else "--"),
+        _tile("Worst |sim-model| error",
+              "--" if worst is None else f"{100 * worst:.1f}%",
+              note="median across repeats"),
+    ]
+    if latest is not None:
+        counters = latest.metrics.get("counters", {})
+        probes = counters.get("engine.bloom_probes")
+        hits = counters.get("engine.bloom_hits")
+        if probes:
+            tiles.append(_tile("Bloom hit rate",
+                               f"{100 * hits / probes:.1f}%",
+                               note=f"{_fmt(probes)} probes"))
+        gauges = latest.metrics.get("gauges", {})
+        imb = gauges.get("parallel.imbalance_ratio")
+        if imb is not None:
+            tiles.append(_tile("Pool imbalance", f"{imb:.2f}x",
+                               note="busiest / mean worker"))
+    return '<div class="tiles">' + "".join(tiles) + "</div>"
+
+
+def _trends_section(records) -> str:
+    rows = _report.trend_rows(records)
+    if not rows:
+        return ""
+    blocks = []
+    by_name: dict[str, list] = {}
+    for row in rows:
+        by_name.setdefault(row["name"], []).append(row)
+    for name, seq in sorted(by_name.items()):
+        points = [(row["git_rev"], row["wall_ms"]["median"],
+                   f"{row['git_rev']}: "
+                   f"{row['wall_ms']['median']:.2f} ms median "
+                   f"(+/- {row['wall_ms']['mad']:.2f} MAD, "
+                   f"{row['runs']} runs)")
+                  for row in seq]
+        chart = _column_chart(points, unit="wall ms",
+                              label=f"{name} wall clock by revision")
+        table = _table(
+            ("git rev", "runs", "wall ms median", "MAD"),
+            [(row["git_rev"], row["runs"],
+              f"{row['wall_ms']['median']:.2f}",
+              f"{row['wall_ms']['mad']:.2f}") for row in seq])
+        blocks.append(f'<figure><figcaption>{_esc(name)}'
+                      f'</figcaption>{chart}{table}</figure>')
+    return _section("Wall clock per bench across revisions",
+                    '<div class="grid">' + "".join(blocks) + "</div>",
+                    note="median of repeats per git revision; "
+                         "MAD in the table view")
+
+
+def _phases_section(records) -> str:
+    agg = _report.aggregate(records)
+    per_bench: dict[str, dict[str, float]] = {}
+    phase_totals: dict[str, float] = {}
+    for name, cells in agg.items():
+        phases = {}
+        for cell, metrics in cells.items():
+            if cell.startswith("phase:") and "wall_ms" in metrics:
+                phase = cell[len("phase:"):]
+                value = metrics["wall_ms"]["median"]
+                phases[phase] = value
+                phase_totals[phase] = phase_totals.get(phase, 0.0) \
+                    + value
+        if phases:
+            per_bench[name] = phases
+    if not per_bench:
+        return ""
+    # Fixed series order (color follows the phase, never its rank);
+    # everything past 7 phases folds into "other".
+    order = sorted(phase_totals, key=lambda p: -phase_totals[p])
+    series = order[:7] + (["other"] if len(order) > 7 else [])
+    rows = []
+    for name in sorted(per_bench):
+        vals = dict(per_bench[name])
+        if len(order) > 7:
+            vals["other"] = sum(vals.pop(p, 0.0) for p in order[7:])
+        rows.append((name, vals))
+    chart = _stacked_hbar(rows, series, unit="ms",
+                          label="phase wall-clock per bench")
+    table = _table(
+        ["bench"] + list(series),
+        [(name, *(f"{vals.get(s, 0.0):.2f}" for s in series))
+         for name, vals in rows])
+    return _section("Phase breakdown (median wall ms)",
+                    _legend(series) + chart + table)
+
+
+def _divergence_section(div_rows) -> str:
+    if not div_rows:
+        return ""
+    blocks = []
+    by_bench: dict[str, dict[str, list]] = {}
+    for row in div_rows:
+        if not isinstance(row["n"], int):
+            continue
+        series = by_bench.setdefault(row["name"], {})
+        series.setdefault(row["label"], []).append(
+            (row["n"], 100.0 * row["error"]))
+    for bench, series in sorted(by_bench.items()):
+        capped = dict(sorted(
+            series.items(),
+            key=lambda kv: -max(abs(y) for _, y in kv[1]))[:8])
+        dropped = len(series) - len(capped)
+        for pts in capped.values():
+            pts.sort()
+        chart = _line_chart(capped, unit="%",
+                            label=f"{bench} sim-vs-model error")
+        note = (f"showing the {len(capped)} cells with the largest "
+                f"|error|; {dropped} more in the table" if dropped
+                else "")
+        table = _table(
+            ("cell", "n", "sim", "model", "error", "runs"),
+            [(r["label"], r["n"],
+              "--" if r["sim"] is None else f"{r['sim']:.2f}",
+              "--" if r["model"] is None else f"{r['model']:.2f}",
+              f"{100 * r['error']:+.1f}%", r["runs"])
+             for r in div_rows if r["name"] == bench])
+        note_html = f'<p class="note">{_esc(note)}</p>' if note else ""
+        blocks.append(f'<figure><figcaption>{_esc(bench)}'
+                      f'</figcaption>{_legend(list(capped))}{chart}'
+                      f'{note_html}{table}</figure>')
+    return _section("Sim-vs-model divergence over n",
+                    '<div class="grid">' + "".join(blocks) + "</div>",
+                    note="relative error of the measured cost against "
+                         "the paper's model, per table cell; 0% = "
+                         "perfect agreement")
+
+
+def _verdicts_section(deltas, baseline_meta) -> str:
+    if deltas is None:
+        return ""
+    from repro.obs import baselines as _baselines
+    counts = _baselines.summarize_deltas(deltas)
+    badges = "".join(
+        f'<span class="badge {_STATUS[c]}">'
+        f'{_STATUS_ICON[c]} {c}: {counts[c]}</span>'
+        for c in _baselines.CLASSIFICATIONS)
+    changed = [d for d in deltas if d.classification != "unchanged"]
+    rows = [(d.classification, d.name, d.cell, d.metric,
+             "--" if d.baseline is None else f"{d.baseline:.4g}",
+             "--" if d.current is None else f"{d.current:.4g}",
+             "--" if d.rel_delta is None
+             else f"{100 * d.rel_delta:+.1f}%")
+            for d in changed[:200]]
+    table = _table(("class", "bench", "cell", "metric", "baseline",
+                    "current", "delta"), rows) if rows else \
+        '<p class="note">every compared cell is unchanged</p>'
+    meta = ""
+    if baseline_meta:
+        meta = (f'<p class="note">baseline '
+                f'{_esc(baseline_meta.get("label") or "?")} @ '
+                f'{_esc(baseline_meta.get("git_rev") or "?")}</p>')
+    return _section("Baseline verdicts", meta + badges + table)
+
+
+def _workers_section(records) -> str:
+    latest = None
+    for rec in records:
+        hist = (rec.metrics or {}).get("histograms", {})
+        if hist.get("parallel.task_ms", {}).get("count"):
+            latest = hist["parallel.task_ms"]
+    if latest is None:
+        return ""
+    points = [(q, latest[q],
+               f"{q} task time: {latest[q]:.2f} ms")
+              for q in ("p50", "p95", "p99") if q in latest]
+    if not points:
+        points = [("mean", latest["mean"],
+                   f"mean task time: {latest['mean']:.2f} ms")]
+    chart = _column_chart(points, unit="task ms",
+                          label="worker task-time percentiles")
+    table = _table(("statistic", "ms"),
+                   [(k, f"{v:.3f}") for k, v in sorted(latest.items())
+                    if isinstance(v, (int, float))])
+    return _section("Worker task-time distribution", chart + table,
+                    note=f"parallel.task_ms over {latest['count']} "
+                         f"tasks (latest recorded run)")
+
+
+_CSS = """
+:root { color-scheme: light; }
+body {
+  margin: 0; padding: 24px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--text-primary);
+}
+.viz-root {
+  --page: #f9f9f7; --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --muted: #898781; --grid: #e1e0d9; --axisline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #eda100; --series-5: #e87ba4; --series-6: #008300;
+  --series-7: #4a3aa7; --series-8: #e34948;
+  --good: #0ca30c; --warning: #fab219; --critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --page: #0d0d0d; --surface-1: #1a1a19;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --grid: #2c2c2a; --axisline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+    --series-7: #9085e9; --series-8: #e66767;
+  }
+}
+h1 { font-size: 22px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 0 0 8px; }
+.note { color: var(--muted); font-size: 12px; margin: 2px 0 10px; }
+header .note { margin-bottom: 20px; }
+section {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 18px; margin: 0 0 18px;
+}
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 0 0 18px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 130px;
+}
+.tile .label { color: var(--text-secondary); font-size: 12px; }
+.tile .value { font-size: 26px; font-weight: 600; margin-top: 2px; }
+.tile .note { margin: 2px 0 0; }
+.grid { display: flex; flex-wrap: wrap; gap: 18px; }
+figure { margin: 0; max-width: 580px; }
+figcaption { font-size: 13px; color: var(--text-secondary);
+             margin-bottom: 4px; }
+svg { width: 100%; height: auto; display: block; }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .axis { stroke: var(--axisline); stroke-width: 1; }
+svg .tick, svg .endlabel { fill: var(--muted); font-size: 10px;
+  font-variant-numeric: tabular-nums; }
+svg .endlabel { fill: var(--text-secondary); font-size: 11px; }
+svg .line { fill: none; stroke-width: 2; stroke-linecap: round;
+  stroke-linejoin: round; }
+svg .dot { stroke: var(--surface-1); stroke-width: 2; }
+svg .mark:hover, svg .dot:hover { opacity: 0.8; }
+.legend { display: flex; flex-wrap: wrap; gap: 10px;
+  font-size: 12px; color: var(--text-secondary); margin: 0 0 6px; }
+.legend .swatch { display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 4px; }
+.badge { display: inline-block; font-size: 12px; border-radius: 10px;
+  padding: 2px 10px; margin: 0 6px 10px 0;
+  border: 1px solid var(--border); color: var(--text-secondary); }
+.badge.good { border-color: var(--good); color: var(--good); }
+.badge.critical { border-color: var(--critical);
+  color: var(--critical); }
+.badge.warning { border-color: var(--warning); }
+details { margin-top: 6px; }
+summary { cursor: pointer; color: var(--muted); font-size: 12px; }
+table { border-collapse: collapse; font-size: 12px; margin-top: 6px; }
+th, td { text-align: left; padding: 3px 10px 3px 0;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums; }
+th { color: var(--text-secondary); font-weight: 600; }
+"""
+
+
+def render_dashboard(records, deltas=None, baseline_meta=None,
+                     title: str = "repro run history") -> str:
+    """Render the run history into one self-contained HTML page.
+
+    ``records`` is a list of :class:`~repro.obs.records.RunRecord`;
+    ``deltas`` (optional) is the output of
+    :func:`repro.obs.baselines.compare` for the verdicts section.
+    """
+    records = list(records)
+    div_rows = _report.divergence_rows(records)
+    generated = time.strftime("%Y-%m-%d %H:%M:%S",
+                              time.gmtime())
+    sections = [
+        _headline_tiles(records, div_rows),
+        _verdicts_section(deltas, baseline_meta),
+        _trends_section(records),
+        _phases_section(records),
+        _divergence_section(div_rows),
+        _workers_section(records),
+    ]
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, '
+        'initial-scale=1">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        '<body class="viz-root"><header>'
+        f"<h1>{_esc(title)}</h1>"
+        f'<p class="note">generated {generated} UTC &#183; '
+        f"{len(records)} run record(s) &#183; triangle-listing "
+        "cost reproduction</p></header>\n"
+        + "\n".join(s for s in sections if s)
+        + "\n</body></html>\n")
+
+
+def write_dashboard(records, path, deltas=None, baseline_meta=None,
+                    title: str = "repro run history"):
+    """Write :func:`render_dashboard` output to ``path``."""
+    import pathlib
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_dashboard(records, deltas=deltas,
+                                     baseline_meta=baseline_meta,
+                                     title=title),
+                    encoding="utf-8")
+    return path

@@ -19,7 +19,9 @@ import threading
 
 __all__ = [
     "Histogram",
+    "MAX_SAMPLES",
     "MetricsRegistry",
+    "percentile",
     "disable",
     "enable",
     "inc",
@@ -35,16 +37,40 @@ __all__ = [
 _enabled = False
 
 
-class Histogram:
-    """Streaming summary of observed values (count/sum/min/max/mean)."""
+#: Per-histogram sample cap: beyond this, percentiles come from the
+#: first MAX_SAMPLES observations (count/sum/min/max stay exact).
+MAX_SAMPLES = 8192
 
-    __slots__ = ("count", "total", "min", "max")
+
+def percentile(ordered, q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sequence."""
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (len(ordered) - 1) * (q / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return float(ordered[lo]) * (1.0 - frac) + float(ordered[hi]) * frac
+
+
+class Histogram:
+    """Summary of observed values: count/sum/min/max/mean + percentiles.
+
+    Keeps the raw samples (up to :data:`MAX_SAMPLES`) so the snapshot
+    can report p50/p95/p99; past the cap new values still update the
+    exact streaming fields but no longer join the percentile sample.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "samples")
 
     def __init__(self):
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.samples: list[float] = []
 
     def observe(self, value: float) -> None:
         """Fold one observation into the streaming summary."""
@@ -55,14 +81,22 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self.samples) < MAX_SAMPLES:
+            self.samples.append(value)
 
     def summary(self) -> dict:
         """JSON-ready summary; empty histograms report ``count = 0``."""
         if self.count == 0:
             return {"count": 0}
-        return {"count": self.count, "sum": self.total,
-                "min": self.min, "max": self.max,
-                "mean": self.total / self.count}
+        out = {"count": self.count, "sum": self.total,
+               "min": self.min, "max": self.max,
+               "mean": self.total / self.count}
+        ordered = sorted(self.samples)
+        if ordered:
+            out["p50"] = percentile(ordered, 50)
+            out["p95"] = percentile(ordered, 95)
+            out["p99"] = percentile(ordered, 99)
+        return out
 
 
 class MetricsRegistry:

@@ -155,12 +155,34 @@ def collect(name: str, config: dict | None = None,
     )
 
 
-def write_record(record: RunRecord, path=None) -> pathlib.Path:
-    """Append ``record`` as one JSONL line; returns the sink path."""
+def write_record(record: RunRecord, path=None,
+                 fsync: bool = True) -> pathlib.Path:
+    """Append ``record`` as one JSONL line; returns the sink path.
+
+    The append is atomic at the line level: the record is serialized
+    fully *before* the file is touched, then written through one
+    ``O_APPEND`` descriptor (and fsync'd by default), so a crashed or
+    concurrent writer can tear at most its own line -- it can never
+    interleave bytes into another record. :func:`load_records` keeps
+    its skip-with-warning path as the fallback for histories written
+    before this guarantee (or torn by power loss mid-sector).
+    """
     sink = runs_path(path)
     sink.parent.mkdir(parents=True, exist_ok=True)
-    with open(sink, "a", encoding="utf-8") as fh:
-        fh.write(record.to_json() + "\n")
+    payload = (record.to_json() + "\n").encode("utf-8")
+    fd = os.open(str(sink), os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                 0o644)
+    try:
+        # One write per record: O_APPEND makes each call an atomic
+        # append, so the loop only continues on a short write (ENOSPC
+        # territory) rather than splitting a healthy line.
+        view = memoryview(payload)
+        while view:
+            view = view[os.write(fd, view):]
+        if fsync:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
     return sink
 
 
@@ -200,6 +222,7 @@ def load_records(path=None) -> list[RunRecord]:
             continue
         out.append(RunRecord.from_dict(data))
     if skipped:
+        _metrics.inc("records.corrupted", skipped)
         from repro.obs.logging import get_logger, log_event
         log_event(get_logger(__name__), logging.WARNING,
                   "skipped corrupted run-record lines", path=str(sink),

@@ -201,6 +201,13 @@ def aggregate(records) -> dict[str, dict[str, dict[str, dict]]]:
 _TREND_COUNTERS = ("lister.ops", "lister.triangles", "harness.instances",
                    "harness.divergent_cells")
 
+#: Histograms whose tail percentiles ride along in trend rows (the
+#: worker task-time distribution is the scheduler-health headline).
+_TREND_HISTOGRAMS = ("parallel.task_ms",)
+
+#: Percentile keys surfaced from histogram snapshots.
+_TREND_QUANTILES = ("p50", "p95", "p99")
+
 
 def trend_rows(records) -> list[dict]:
     """Per (name, git_rev) trajectory rows, chronological per name.
@@ -228,11 +235,24 @@ def trend_rows(records) -> list[dict]:
             vals = [float(v) for v in vals if v is not None]
             if vals:
                 counters[metric] = median(vals)
+        quantiles: dict[str, dict[str, float]] = {}
+        for metric in _TREND_HISTOGRAMS:
+            per_q: dict[str, list] = {}
+            for rec in recs:
+                summary = (rec.metrics.get("histograms", {})
+                           .get(metric) or {})
+                for q in _TREND_QUANTILES:
+                    if isinstance(summary.get(q), (int, float)):
+                        per_q.setdefault(q, []).append(summary[q])
+            if per_q:
+                quantiles[metric] = {q: median(vals)
+                                     for q, vals in per_q.items()}
         rows.append({
             "name": name, "git_rev": rev, "runs": len(recs),
             "first_ts": group["first_ts"],
             "wall_ms": summarize_values(walls),
             "counters": counters,
+            "quantiles": quantiles,
         })
     rows.sort(key=lambda r: (r["name"], r["first_ts"] or 0.0))
     return rows
@@ -244,7 +264,8 @@ def format_trends(rows) -> str:
         return "run history is empty"
     lines = [f"{'bench':<28} {'git_rev':>9} {'runs':>5} "
              f"{'wall ms (med+/-MAD)':>21} {'lister.ops':>12} "
-             f"{'triangles':>10} {'instances':>10} {'divergent':>10}"]
+             f"{'triangles':>10} {'instances':>10} {'divergent':>10} "
+             f"{'task ms p50/p95/p99':>22}"]
     for row in rows:
         wall = row["wall_ms"]
         counters = row["counters"]
@@ -253,12 +274,16 @@ def format_trends(rows) -> str:
             value = counters.get(metric)
             return "--" if value is None else f"{value:.0f}"
 
+        task = (row.get("quantiles") or {}).get("parallel.task_ms")
+        task_col = ("--" if not task else "/".join(
+            f"{task[q]:.1f}" for q in _TREND_QUANTILES if q in task))
         lines.append(
             f"{row['name']:<28} {row['git_rev']:>9} {row['runs']:>5} "
             f"{wall['median']:>12.2f} +/- {wall['mad']:>5.2f} "
             f"{fmt('lister.ops'):>12} {fmt('lister.triangles'):>10} "
             f"{fmt('harness.instances'):>10} "
-            f"{fmt('harness.divergent_cells'):>10}")
+            f"{fmt('harness.divergent_cells'):>10} "
+            f"{task_col:>22}")
     return "\n".join(lines)
 
 

@@ -19,6 +19,13 @@ list behind a lock; :func:`pop_finished` drains it.
 With ``enable(memory=True)`` the module also starts :mod:`tracemalloc`
 and each span records the net allocated bytes over its lifetime plus
 the global peak observed at its close.
+
+With ``enable(profile=...)`` (or the ``REPRO_PROFILE`` environment
+knob, consulted by default) every *top-level* span additionally runs
+under :mod:`cProfile` and closes with its top-K functions by
+cumulative time attached as ``span.profile`` -- see
+:mod:`repro.obs.profiling`. The hook shares the span enable path, so
+the disabled fast path is untouched.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ __all__ = [
 
 _enabled = False
 _trace_memory = False
+_profile_top_k = 0
 _lock = threading.Lock()
 _finished: list["Span"] = []
 
@@ -69,10 +77,14 @@ class Span:
     mem_delta_bytes / mem_peak_bytes:
         Only populated when memory tracing is on: net tracemalloc
         allocation over the span and the traced peak at close.
+    profile:
+        Only populated for top-level spans while profiling is on: the
+        top-K functions by cumulative time (list of dicts -- see
+        :func:`repro.obs.profiling.top_functions`).
     """
 
     __slots__ = ("name", "attrs", "start_ns", "duration_ns", "children",
-                 "mem_delta_bytes", "mem_peak_bytes")
+                 "mem_delta_bytes", "mem_peak_bytes", "profile")
 
     def __init__(self, name: str, attrs: dict | None = None):
         self.name = name
@@ -82,6 +94,7 @@ class Span:
         self.children: list[Span] = []
         self.mem_delta_bytes: int | None = None
         self.mem_peak_bytes: int | None = None
+        self.profile: list | None = None
 
     @property
     def duration_ms(self) -> float:
@@ -94,8 +107,16 @@ class Span:
         return self
 
     def to_dict(self) -> dict:
-        """JSON-ready representation of the subtree."""
+        """JSON-ready representation of the subtree.
+
+        ``start_ns`` is the raw ``perf_counter_ns`` open timestamp --
+        meaningful only *relative* to other spans of the same process
+        (the trace exporter uses it to lay siblings out on a shared
+        timeline and falls back to sequential packing when a subtree
+        crossed a process boundary).
+        """
         out: dict = {"name": self.name,
+                     "start_ns": int(self.start_ns),
                      "duration_ns": int(self.duration_ns)}
         if self.attrs:
             out["attrs"] = dict(self.attrs)
@@ -103,6 +124,8 @@ class Span:
             out["mem_delta_bytes"] = int(self.mem_delta_bytes)
         if self.mem_peak_bytes is not None:
             out["mem_peak_bytes"] = int(self.mem_peak_bytes)
+        if self.profile is not None:
+            out["profile"] = list(self.profile)
         if self.children:
             out["children"] = [c.to_dict() for c in self.children]
         return out
@@ -115,11 +138,14 @@ class Span:
         process boundary as plain dicts) under a parent span.
         """
         s = cls(data["name"], data.get("attrs"))
+        s.start_ns = int(data.get("start_ns", 0))
         s.duration_ns = int(data.get("duration_ns", 0))
         if "mem_delta_bytes" in data:
             s.mem_delta_bytes = int(data["mem_delta_bytes"])
         if "mem_peak_bytes" in data:
             s.mem_peak_bytes = int(data["mem_peak_bytes"])
+        if "profile" in data:
+            s.profile = list(data["profile"])
         s.children = [cls.from_dict(c) for c in data.get("children", [])]
         return s
 
@@ -143,23 +169,36 @@ class Span:
 class _ActiveSpan:
     """Context manager driving one real (enabled) span."""
 
-    __slots__ = ("span", "_mem_start")
+    __slots__ = ("span", "_mem_start", "_profiler")
 
     def __init__(self, name: str, attrs: dict):
         self.span = Span(name, attrs)
         self._mem_start: int | None = None
+        self._profiler = None
 
     def __enter__(self) -> Span:
+        top_level = not _frames.stack
         _frames.stack.append(self.span)
         if _trace_memory:
             import tracemalloc
             self._mem_start = tracemalloc.get_traced_memory()[0]
+        if _profile_top_k and top_level:
+            # Only the root of each tree profiles: cProfile cannot
+            # nest, and descendants are covered by the root's run.
+            import cProfile
+            self._profiler = cProfile.Profile()
+            self._profiler.enable()
         self.span.start_ns = time.perf_counter_ns()
         return self.span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         s = self.span
         s.duration_ns = time.perf_counter_ns() - s.start_ns
+        if self._profiler is not None:
+            self._profiler.disable()
+            from repro.obs.profiling import top_functions
+            s.profile = top_functions(self._profiler, _profile_top_k)
+            self._profiler = None
         if self._mem_start is not None:
             import tracemalloc
             current, peak = tracemalloc.get_traced_memory()
@@ -186,9 +225,11 @@ class _NoopSpan:
     __slots__ = ()
     name = None
     attrs: dict = {}
+    start_ns = 0
     duration_ns = 0
     duration_ms = 0.0
     children: list = []
+    profile = None
 
     def annotate(self, **attrs):
         return self
@@ -220,26 +261,41 @@ def span(name: str, /, **attrs):
     return _ActiveSpan(name, attrs)
 
 
-def enable(memory: bool = False) -> None:
-    """Turn span collection on (optionally with tracemalloc tracking)."""
-    global _enabled, _trace_memory
+def enable(memory: bool = False, profile: int | None = None) -> None:
+    """Turn span collection on (optionally with tracemalloc tracking).
+
+    ``profile`` controls per-top-level-span :mod:`cProfile`
+    attribution: an int is the top-K function count to attach (0
+    disables), ``None`` (the default) consults the ``REPRO_PROFILE``
+    environment knob via
+    :func:`repro.obs.profiling.profile_top_k_from_env` -- so every
+    existing enable path (``--trace``, ``REPRO_TRACE=1``, the bench
+    drivers, pool workers) picks the mode up without new plumbing.
+    """
+    global _enabled, _trace_memory, _profile_top_k
     if memory:
         import tracemalloc
         if not tracemalloc.is_tracing():
             tracemalloc.start()
     _trace_memory = bool(memory)
+    if profile is None:
+        from repro.obs.profiling import profile_top_k_from_env
+        _profile_top_k = profile_top_k_from_env()
+    else:
+        _profile_top_k = max(0, int(profile))
     _enabled = True
 
 
 def disable() -> None:
     """Turn span collection off and stop tracemalloc if we started it."""
-    global _enabled, _trace_memory
+    global _enabled, _trace_memory, _profile_top_k
     _enabled = False
     if _trace_memory:
         import tracemalloc
         if tracemalloc.is_tracing():
             tracemalloc.stop()
     _trace_memory = False
+    _profile_top_k = 0
 
 
 def is_enabled() -> bool:
