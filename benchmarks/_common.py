@@ -87,6 +87,9 @@ def emit(name: str, text: str, results_dir=None,
         "created_unix": time.time(),
         "full_scale": FULL,
         "lines": text.count("\n") + 1,
+        # Host metadata makes BENCH_*.json / runs.jsonl comparable
+        # across machines (a 4-core CI runner vs. a 64-core box).
+        "host": obs.records.host_meta(),
     }
     if data is not None:
         sidecar["data"] = data
@@ -99,6 +102,7 @@ def emit(name: str, text: str, results_dir=None,
     else:
         record_path = out_dir / "runs.jsonl"
     record = obs.collect(name, config=config)
+    record.meta["host"] = sidecar["host"]
     obs.records.write_record(record, record_path)
     # REPRO_BENCH_EXPORT=1 drops viewer-ready artifacts next to the
     # table: Chrome trace-event JSON and collapsed flame stacks of the

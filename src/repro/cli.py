@@ -14,12 +14,16 @@ Subcommands::
                      (trends | baseline | compare | divergence | html)
     repro export     recorded runs -> Chrome trace JSON / flame stacks
                      (trace | flame)
+    repro top        live terminal view of a telemetry event stream
+    repro serve-metrics  Prometheus-text scrape endpoint
 
 Every subcommand accepts ``--trace`` (print the span tree and metric
 counters after the run; add ``--trace-memory`` for tracemalloc peaks).
 ``REPRO_PROFILE=1`` additionally attaches top-K cProfile stats to every
-top-level span while tracing. ``repro --version`` prints the package
-version.
+top-level span while tracing. ``REPRO_LIVE=1`` starts the live
+telemetry runtime (resource sampler, progress/ETA events, worker
+heartbeats -- see docs/OBSERVABILITY.md) for the dispatched
+subcommand. ``repro --version`` prints the package version.
 
 Examples::
 
@@ -36,6 +40,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+import time
 
 import numpy as np
 
@@ -258,7 +263,8 @@ def cmd_sweep(args) -> int:
         obs.spans.pop_finished()
     rows = sweep_n_parallel(spec, ns, seed=args.seed,
                             max_workers=args.workers,
-                            chunksize=args.chunksize)
+                            chunksize=args.chunksize,
+                            mp_start=args.mp_start)
     print(f"sweep: {spec.method} under {args.order}, "
           f"alpha={args.alpha}, {args.truncation} truncation, "
           f"{args.sequences}x{args.graphs} instances per n, "
@@ -520,6 +526,100 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_top(args) -> int:
+    """``repro top``: terminal view over a live-telemetry event stream.
+
+    Follows the JSONL stream a run writes under
+    ``REPRO_LIVE_EVENTS=PATH`` and refreshes a status block in place:
+    current phase, progress %, model-ops ETA, RSS/CPU, per-worker
+    liveness. ``--once`` renders the current state and exits;
+    ``--validate`` schema-checks the stream instead (the CI gate) and
+    exits non-zero on any malformed event.
+    """
+    from repro.obs import bus as obs_bus
+    from repro.obs import live as obs_live
+    if args.validate:
+        try:
+            count, errors = obs_bus.validate_events_file(args.events)
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.events}: {exc}")
+        if errors:
+            print(f"{len(errors)} schema error(s) in {args.events}:",
+                  file=sys.stderr)
+            for error in errors[:20]:
+                print(f"  {error}", file=sys.stderr)
+            return 1
+        print(f"{count} event(s) OK in {args.events}")
+        return 0
+    state = obs_live.LiveState()
+    offset = 0
+    try:
+        while True:
+            try:
+                events, offset = obs_live.read_events(args.events,
+                                                      offset)
+            except OSError:
+                events = []
+            state.update_many(events)
+            text = obs_live.render_status(state)
+            if args.once:
+                print(text)
+                return 0
+            sys.stdout.write("\x1b[H\x1b[2J" + text + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def cmd_serve_metrics(args) -> int:
+    """``repro serve-metrics``: Prometheus-text scrape endpoint.
+
+    Serves ``GET /metrics`` in text exposition format. By default the
+    gauges/counters come from this process's registry (useful when
+    embedding); with ``--events PATH`` every scrape re-reads the live
+    event stream another process is writing, so the endpoint can sit
+    next to a running sweep. ``--once`` serves exactly one request and
+    exits (the CI smoke mode).
+    """
+    from repro.obs import live as obs_live
+    render = None
+    if args.events:
+        events_path = args.events
+
+        def render():
+            state = obs_live.LiveState()
+            try:
+                events, __ = obs_live.read_events(events_path, 0)
+            except OSError:
+                events = []
+            state.update_many(events)
+            return obs_live.render_prometheus(
+                extra_gauges=state.to_gauges())
+
+    server = obs_live.MetricsServer(port=args.port, host=args.host,
+                                    render=render)
+    if args.once:
+        port = server.bind_plain()
+        print(f"serving one scrape on http://{args.host}:{port}/metrics",
+              flush=True)
+        server.handle_one_request()
+        server.stop()
+        return 0
+    port = server.start()
+    print(f"serving Prometheus metrics on "
+          f"http://{args.host}:{port}/metrics (Ctrl-C to stop)",
+          flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    server.stop()
+    return 0
+
+
 def _package_version() -> str:
     """Installed package version, falling back to the module constant."""
     try:
@@ -655,6 +755,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunksize", type=int, default=None,
                    help="tasks per worker dispatch (default: "
                         "~4 chunks/worker)")
+    p.add_argument("--mp-start", default=None,
+                   choices=("fork", "spawn", "forkserver"),
+                   help="multiprocessing start method (default: "
+                        "REPRO_MP_START or the platform default)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--truncation", choices=("linear", "root"),
                    default="root")
@@ -672,7 +776,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_report_parser(name, **kwargs):
         rp = rsub.add_parser(name, **kwargs)
-        rp.add_argument("--runs", default=None, metavar="PATH",
+        rp.add_argument("--runs", "--runs-file", dest="runs",
+                        default=None, metavar="PATH",
                         help="runs.jsonl to read (default: "
                              "REPRO_RUNS_FILE or "
                              "benchmarks/results/runs.jsonl)")
@@ -759,7 +864,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_export_parser(name, **kwargs):
         ep = esub.add_parser(name, **kwargs)
-        ep.add_argument("--runs", default=None, metavar="PATH",
+        ep.add_argument("--runs", "--runs-file", dest="runs",
+                        default=None, metavar="PATH",
                         help="runs.jsonl to read (default: "
                              "REPRO_RUNS_FILE or "
                              "benchmarks/results/runs.jsonl)")
@@ -784,6 +890,36 @@ def build_parser() -> argparse.ArgumentParser:
                     default="spans",
                     help="weight by span self-time (default) or "
                          "attached REPRO_PROFILE cProfile stats")
+
+    p = add_parser("top",
+                   help="live terminal view over a telemetry event "
+                        "stream")
+    p.add_argument("--events", required=True, metavar="PATH",
+                   help="JSONL event stream a run writes under "
+                        "REPRO_LIVE_EVENTS=PATH")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="refresh period in seconds (default 1.0)")
+    p.add_argument("--once", action="store_true",
+                   help="render the current state once and exit")
+    p.add_argument("--validate", action="store_true",
+                   help="schema-check the stream instead of rendering; "
+                        "exit non-zero on malformed events")
+    p.set_defaults(func=cmd_top)
+
+    p = add_parser("serve-metrics",
+                   help="Prometheus-text scrape endpoint "
+                        "(GET /metrics)")
+    p.add_argument("--port", type=int, default=9464,
+                   help="port to bind (0 = ephemeral; default 9464)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="address to bind (default 127.0.0.1)")
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="derive gauges from this live event stream "
+                        "(default: this process's metric registry)")
+    p.add_argument("--once", action="store_true",
+                   help="serve exactly one request and exit (CI smoke "
+                        "mode)")
+    p.set_defaults(func=cmd_serve_metrics)
 
     p = add_parser("profile",
                    help="phase-time breakdown over a method/order grid")
@@ -829,7 +965,15 @@ def main(argv=None) -> int:
         obs.spans.pop_finished()
     else:
         trace = obs.enable_from_env()
-    rc = args.func(args)
+    # REPRO_LIVE=1 starts the live runtime (sampler, event bus sinks,
+    # span phase hook, optional metrics endpoint) around the command.
+    live_on = (args.func not in (cmd_top, cmd_serve_metrics)
+               and obs.live.enable_from_env())
+    try:
+        rc = args.func(args)
+    finally:
+        if live_on:
+            obs.live.disable()
     if trace:
         _print_trace()
         obs.disable()

@@ -50,6 +50,7 @@ from repro.core.costs import component_ops
 from repro.core.methods import get_method
 from repro.engine import native as _native
 from repro.listing.base import ListingResult
+from repro.obs import bus as _bus
 from repro.obs import metrics as _metrics
 
 #: Candidate pairs materialized per batch (caps peak working memory).
@@ -279,14 +280,18 @@ def _publish_stats(stats: dict) -> None:
                  stats["confirm_binsearches"])
 
 
-def _run_kernel(oriented, kernel, collect, stats=None):
+def _run_kernel(oriented, kernel, collect, stats=None, label=""):
     """Run one vectorized shape; returns ``(count, triangle_batches)``.
 
     The chunk loop is the engine's hot path: everything candidate-sized
     is uint32/int32, window expansion is one ``repeat`` + one
     ``arange`` + one add, and membership goes through the graph
     cache's Bloom-verified probe. ``stats`` (only passed while metrics
-    are enabled) accumulates the per-chunk telemetry.
+    are enabled) accumulates the per-chunk telemetry. With the live
+    event bus on, a throttled ``progress`` tracker reports candidates
+    consumed vs. the total (known exactly up front from ``cum[-1]``);
+    with the bus off -- the default -- no tracker exists and the loop
+    is unchanged.
     """
     cache = _graph_cache(oriented)
     if kernel.units == "out":
@@ -307,6 +312,13 @@ def _run_kernel(oriented, kernel, collect, stats=None):
     cum = np.empty(counts.size + 1, dtype=np.int64)
     cum[0] = 0
     np.cumsum(counts, out=cum[1:])
+
+    progress = None
+    if _bus.is_enabled() and cum[-1] > 0:
+        from repro.obs.live import Progress
+        progress = Progress(label or "kernel", float(cum[-1]),
+                            predicted_ops=float(cum[-1]),
+                            scope="chunk", min_interval_s=0.5)
 
     count = 0
     batches: list[np.ndarray] | None = [] if collect else None
@@ -345,6 +357,8 @@ def _run_kernel(oriented, kernel, collect, stats=None):
                      "r": rows[unit], "v": vals[unit]}
             batches.append(np.stack(
                 [parts[name] for name in kernel.tri], axis=1))
+        if progress is not None:
+            progress.advance(k, ops=k)
         u0 = u1
     return count, batches
 
@@ -364,7 +378,7 @@ def _count_fast(oriented, stats=None) -> tuple[int, bool]:
     comps = component_ops(oriented.out_degrees, oriented.in_degrees)
     shape = min(("T1", "T2", "T3"), key=comps.get)
     count, _ = _run_kernel(oriented, _KERNELS[shape], collect=False,
-                           stats=stats)
+                           stats=stats, label=f"count:{shape}")
     return count, False
 
 
@@ -395,7 +409,7 @@ def run_numpy(oriented, method: str = "E1",
     used_native = False
     if collect:
         count, batches = _run_kernel(oriented, kernel, collect=True,
-                                     stats=stats)
+                                     stats=stats, label=f"list:{method}")
         if batches:
             stacked = np.concatenate(batches, axis=0)
             triangles = list(map(tuple, stacked.tolist()))

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import math
+import multiprocessing
 import os
 import time
 
@@ -44,6 +45,8 @@ from repro.core.costs import per_node_cost
 from repro.distributions.sampling import sample_degree_sequence
 from repro.experiments.harness import check_model_divergence, model_cost
 from repro.graphs.generators import generate_graph
+from repro.obs import bus as _bus
+from repro.obs import live as _live
 from repro.obs import metrics as _metrics
 from repro.obs import spans as _spans
 from repro.obs.spans import Span, span
@@ -51,6 +54,7 @@ from repro.orientations.relabel import orient
 
 __all__ = [
     "resolve_chunksize",
+    "resolve_mp_context",
     "resolve_workers",
     "simulate_cost_parallel",
     "simulated_vs_model_parallel",
@@ -89,6 +93,21 @@ def resolve_chunksize(chunksize: int | None, n_tasks: int,
     return max(1, math.ceil(n_tasks / (4 * workers)))
 
 
+def resolve_mp_context(mp_start: str | None = None):
+    """Multiprocessing context: argument > ``REPRO_MP_START`` > default.
+
+    ``"fork"`` (the Linux default) inherits the parent's modules;
+    ``"spawn"`` re-imports everything in a fresh interpreter -- the
+    only option on macOS/Windows and the mode the spawn-parity tests
+    exercise. ``None``/empty falls back to the platform default.
+    """
+    method = (mp_start if mp_start is not None
+              else os.environ.get("REPRO_MP_START", "")).strip().lower()
+    if not method:
+        return None
+    return multiprocessing.get_context(method)
+
+
 def _run_one_sequence(task):
     """Worker: one degree sequence, ``n_graphs`` realizations.
 
@@ -98,9 +117,15 @@ def _run_one_sequence(task):
     ``cell`` span, metrics go to the live registry -- and the obs
     fields of the return value are ``None``. In a child process
     ``bootstrap`` carries the parent's ``(spans_on, metrics_on)``
-    flags; the worker enables a fresh obs state, runs, and returns the
-    collected span dicts and counter snapshot for the parent to merge.
+    flags -- extended to ``(spans_on, metrics_on, hb_queue,
+    hb_interval)`` while live telemetry is on, where ``hb_queue`` is a
+    manager-queue proxy (picklable under both ``fork`` and ``spawn``)
+    the worker posts liveness heartbeats into: one at sequence start,
+    then at most one per ``hb_interval`` as realizations complete. The
+    parent-side :class:`repro.obs.live.HeartbeatWatchdog` drains them.
 
+    The worker enables a fresh obs state, runs, and returns the
+    collected span dicts and counter snapshot for the parent to merge.
     Every path also returns a telemetry tuple ``(pid, wall_ns)`` so
     the parent can attribute per-task wall time to the worker process
     that executed it (one ``perf_counter_ns`` pair per *sequence*, far
@@ -108,15 +133,24 @@ def _run_one_sequence(task):
     """
     spec, n, seq_index, seed, bootstrap = task
     in_child = bootstrap is not None
+    hb_queue = None
+    hb_interval = _live.DEFAULT_INTERVAL_S
     t0 = time.perf_counter_ns()
     if in_child:
-        spans_on, metrics_on = bootstrap
+        if len(bootstrap) >= 4:
+            spans_on, metrics_on, hb_queue, hb_interval = bootstrap[:4]
+        else:
+            spans_on, metrics_on = bootstrap
         _spans.reset()
         _metrics.reset()
         if spans_on:
             _spans.enable()
         if metrics_on:
             _metrics.enable()
+    task_label = f"seq {seq_index} n={n} {spec.method}"
+    if hb_queue is not None:
+        _live.post_heartbeat(hb_queue, task_label, status="start")
+    last_hb = time.monotonic()
     rng = np.random.default_rng(seed)
     dist_n = spec.base_dist.truncate(spec.truncation(n))
     costs = []
@@ -135,10 +169,16 @@ def _run_one_sequence(task):
                 costs.append(per_node_cost(
                     spec.method, oriented.out_degrees,
                     oriented.in_degrees))
+            if (hb_queue is not None
+                    and time.monotonic() - last_hb >= hb_interval):
+                _live.post_heartbeat(hb_queue, task_label,
+                                     status="running")
+                last_hb = time.monotonic()
+    if hb_queue is not None:
+        _live.post_heartbeat(hb_queue, task_label, status="done")
     tele = (os.getpid(), time.perf_counter_ns() - t0)
     if not in_child:
         return costs, None, None, tele
-    spans_on, metrics_on = bootstrap
     counters = _metrics.snapshot()["counters"] if metrics_on else None
     span_dicts = ([s.to_dict() for s in _spans.pop_finished()]
                   if spans_on else None)
@@ -149,22 +189,49 @@ def _run_one_sequence(task):
     return costs, counters, span_dicts, tele
 
 
+def _cell_progress(spec, n: int, n_tasks: int):
+    """Model-ops progress tracker for one cell (``None`` when bus off).
+
+    The paper's cost model predicts the cell's total work up front:
+    ``E[c_n] * n`` ops per instance, ``n_sequences * n_graphs``
+    instances -- so live progress is reported as fraction of predicted
+    ops consumed (each finished task contributes its *actual* summed
+    ``per_node_cost * n``), and the ETA extrapolates from that
+    fraction rather than from task counts.
+    """
+    if not _bus.is_enabled():
+        return None
+    try:
+        predicted = (model_cost(spec, n) * n
+                     * n_tasks * spec.n_graphs)
+    except Exception:
+        predicted = None
+    return _live.Progress(
+        f"cell n={n} {spec.method}", n_tasks,
+        predicted_ops=predicted, scope="cell", phase="simulate")
+
+
 def simulate_cost_parallel(spec, n: int, seed=0,
                            max_workers: int | None = None,
-                           chunksize: int | None = None) -> float:
+                           chunksize: int | None = None,
+                           mp_start: str | None = None) -> float:
     """Parallel version of
     :func:`repro.experiments.harness.simulate_cost`.
 
     Spawns one task per degree sequence; each task derives its RNG
     from ``SeedSequence(seed).spawn``, so results are bit-for-bit
     reproducible for a fixed ``(spec, n, seed)`` regardless of
-    ``max_workers`` / ``chunksize``. ``seed`` may be an ``int`` or a
-    ``numpy.random.SeedSequence``.
+    ``max_workers`` / ``chunksize`` / ``mp_start`` (start method:
+    argument > ``REPRO_MP_START`` > platform default).
 
     Observability parity with the serial harness: the fan-out runs
     under a ``cell`` span, worker span trees are reattached beneath
     it, worker counters are merged into the parent registry, and
-    ``harness.instances`` counts every realized graph.
+    ``harness.instances`` counts every realized graph. With live
+    telemetry on (``REPRO_LIVE=1``) the pool results are consumed
+    lazily so every finished task advances a model-ops progress
+    tracker, and workers post heartbeats a watchdog thread relays /
+    monitors for stalls.
     """
     n_tasks = spec.n_sequences
     workers = resolve_workers(max_workers, n_tasks)
@@ -175,18 +242,49 @@ def simulate_cost_parallel(spec, n: int, seed=0,
     with span("cell", method=spec.method,
               permutation=type(spec.permutation).__name__, n=n,
               workers=workers, chunksize=cs) as cell:
+        progress = _cell_progress(spec, n, n_tasks)
         pool_t0 = time.perf_counter_ns()
         if workers <= 1:
-            results = [_run_one_sequence((spec, n, i, s, None))
-                       for i, s in enumerate(seeds)]
+            results = []
+            for i, s in enumerate(seeds):
+                result = _run_one_sequence((spec, n, i, s, None))
+                results.append(result)
+                if progress is not None:
+                    progress.advance(1, ops=sum(result[0]) * n)
         else:
             bootstrap = (_spans.is_enabled(), _metrics.is_enabled())
+            manager = watchdog = None
+            if _live.is_enabled():
+                interval = _live.live_interval()
+                manager = multiprocessing.Manager()
+                watchdog = _live.HeartbeatWatchdog(
+                    manager.Queue(), interval_s=interval).start()
+                bootstrap = bootstrap + (watchdog.queue, interval)
             tasks = [(spec, n, i, s, bootstrap)
                      for i, s in enumerate(seeds)]
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers) as pool:
-                results = list(pool.map(_run_one_sequence, tasks,
-                                        chunksize=cs))
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                        max_workers=workers,
+                        mp_context=resolve_mp_context(mp_start)) as pool:
+                    # pool.map yields in task order as results arrive;
+                    # consuming it lazily lets each completion advance
+                    # the progress tracker without changing the final
+                    # (order-deterministic) aggregation below.
+                    results = []
+                    for result in pool.map(_run_one_sequence, tasks,
+                                           chunksize=cs):
+                        results.append(result)
+                        if progress is not None:
+                            progress.advance(1, ops=sum(result[0]) * n)
+            finally:
+                if watchdog is not None:
+                    stalled = sum(
+                        1 for w in watchdog.stop().values()
+                        if w.get("stalled"))
+                    cell.annotate(heartbeat_workers=len(
+                        watchdog.workers), stalled_workers=stalled)
+                if manager is not None:
+                    manager.shutdown()
             for __, counters, span_dicts, __tele in results:
                 if counters:
                     _metrics.merge_counters(counters)
@@ -248,7 +346,8 @@ def _publish_worker_telemetry(cell, workers: int, teles, elapsed_ns: int
 
 def simulated_vs_model_parallel(spec, n: int, seed=0,
                                 max_workers: int | None = None,
-                                chunksize: int | None = None
+                                chunksize: int | None = None,
+                                mp_start: str | None = None
                                 ) -> tuple[float, float, float]:
     """Parallel analogue of
     :func:`repro.experiments.harness.simulated_vs_model` -- same
@@ -256,28 +355,46 @@ def simulated_vs_model_parallel(spec, n: int, seed=0,
     """
     sim = simulate_cost_parallel(spec, n, seed=seed,
                                  max_workers=max_workers,
-                                 chunksize=chunksize)
+                                 chunksize=chunksize,
+                                 mp_start=mp_start)
     model = model_cost(spec, n)
     error = check_model_divergence(spec, n, sim, model)
     return sim, model, error
 
 
 def sweep_n_parallel(spec, ns, seed=0, max_workers: int | None = None,
-                     chunksize: int | None = None) -> list[dict]:
+                     chunksize: int | None = None,
+                     mp_start: str | None = None) -> list[dict]:
     """Pool-backed :func:`repro.experiments.harness.sweep_n`.
 
     Each ``n`` gets its own child ``SeedSequence`` (spawned in grid
     order), so the whole sweep is reproducible for a fixed ``seed``
-    and invariant to the pool geometry.
+    and invariant to the pool geometry. With the live bus on, the
+    sweep itself reports model-ops progress across its grid points.
     """
     root = (seed if isinstance(seed, np.random.SeedSequence)
             else np.random.SeedSequence(seed))
-    children = root.spawn(len(list(ns)))
+    ns = list(ns)
+    children = root.spawn(len(ns))
+    progress = None
+    if _bus.is_enabled():
+        try:
+            predicted = sum(model_cost(spec, n) * n
+                            * spec.n_sequences * spec.n_graphs
+                            for n in ns)
+        except Exception:
+            predicted = None
+        progress = _live.Progress(
+            f"sweep {spec.method} x{len(ns)}", len(ns),
+            predicted_ops=predicted, scope="sweep", phase="sweep")
     rows = []
     for n, child in zip(ns, children):
         sim, model, error = simulated_vs_model_parallel(
             spec, n, seed=child, max_workers=max_workers,
-            chunksize=chunksize)
+            chunksize=chunksize, mp_start=mp_start)
         rows.append({"n": n, "sim": sim, "model": model,
                      "error": error})
+        if progress is not None:
+            progress.advance(
+                1, ops=sim * n * spec.n_sequences * spec.n_graphs)
     return rows

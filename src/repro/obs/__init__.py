@@ -13,6 +13,11 @@ near-free when disabled:
   metric snapshots, run config, and git/python metadata.
 * :mod:`repro.obs.logging` -- structured stdlib logging with the
   ``REPRO_LOG`` env knob.
+* :mod:`repro.obs.bus` + :mod:`repro.obs.live` -- the live-telemetry
+  runtime (``REPRO_LIVE=1``): a pub/sub event bus, a background
+  resource sampler, model-ops progress/ETA events, worker heartbeats
+  with a stall watchdog, and the ``repro top`` /
+  ``repro serve-metrics`` read surface.
 
 Two read-side layers analyze that history (``repro report`` on the
 command line):
@@ -49,7 +54,7 @@ from __future__ import annotations
 
 import os
 
-from repro.obs import baselines, dashboard, export
+from repro.obs import baselines, bus, dashboard, export, live
 from repro.obs import logging as obs_logging
 from repro.obs import metrics, profiling, records, report, spans
 from repro.obs.baselines import (Baseline, build_baseline, compare,
@@ -73,11 +78,13 @@ __all__ = [
     "Span",
     "baselines",
     "build_baseline",
+    "bus",
     "collapsed_stacks",
     "collect",
     "compare",
     "dashboard",
     "export",
+    "live",
     "has_regressions",
     "load_baseline",
     "report",

@@ -1,0 +1,352 @@
+"""Pub/sub event bus for live telemetry (``repro.obs.live``).
+
+Post-hoc observability (spans, run records) answers "what happened";
+the bus answers "what is happening *now*": producers -- the resource
+sampler, the progress/ETA layer, the worker-heartbeat watchdog, the
+span phase hook -- publish small dict events through :func:`emit`, and
+pluggable sinks fan them out:
+
+* :class:`MemorySink` -- in-process list, for tests and ``repro top``;
+* :class:`JsonlSink` -- one JSON line per event appended to a stream
+  file (the ``REPRO_LIVE_EVENTS`` sink ``repro top`` follows);
+* :class:`TickerSink` -- a throttled single-line stderr progress
+  ticker.
+
+Like the rest of :mod:`repro.obs`, the bus is disabled by default and
+the disabled path is one module-global check: :func:`emit` returns
+immediately, so instrumented hot paths (the engine chunk loop, the
+pool scheduler) pay nothing unless live telemetry is on.
+
+Every published event is stamped with ``type``, ``ts`` (unix seconds)
+and ``pid``; :data:`EVENT_SCHEMA` names the per-type required fields
+and :func:`validate_events` / :func:`validate_events_file` enforce them
+(the CI live-smoke job gates on the emitted stream).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EventBus",
+    "JsonlSink",
+    "MemorySink",
+    "TickerSink",
+    "add_sink",
+    "bus",
+    "disable",
+    "emit",
+    "enable",
+    "is_enabled",
+    "remove_sink",
+    "reset",
+    "validate_event",
+    "validate_events",
+    "validate_events_file",
+]
+
+_enabled = False
+
+
+#: Required payload fields per event type (beyond the stamped
+#: ``type`` / ``ts`` / ``pid``). Values are the accepted types.
+EVENT_SCHEMA: dict[str, dict[str, tuple]] = {
+    # background sampler: one process-resource snapshot
+    "resource.sample": {
+        "rss_bytes": (int,),
+        "cpu_user_s": (int, float),
+        "cpu_system_s": (int, float),
+        "gc_collections": (int,),
+        "gc_objects": (int,),
+        "threads": (int,),
+    },
+    # progress/ETA layer: one unit of a tracked workload finished
+    "progress": {
+        "scope": (str,),       # "sweep" | "cell" | "chunk" | ...
+        "label": (str,),
+        "done": (int, float),
+        "total": (int, float),
+        "frac": (int, float),
+    },
+    # pool worker liveness (relayed by the parent watchdog)
+    "heartbeat": {
+        "worker_pid": (int,),
+        "task": (str,),
+    },
+    # watchdog verdict: a worker missed too many intervals
+    "worker.stalled": {
+        "worker_pid": (int,),
+        "silent_s": (int, float),
+        "missed": (int,),
+        "last_task": (str,),
+    },
+    # top-level span lifecycle (the "phase" line of ``repro top``)
+    "phase": {
+        "name": (str,),
+        "status": (str,),      # "start" | "end"
+    },
+    # run bracketing, for multi-run event streams
+    "run.start": {"name": (str,)},
+    "run.end": {"name": (str,)},
+}
+
+#: Optional, typed-when-present progress fields (the model-ops ETA).
+_PROGRESS_OPTIONAL = {
+    "ops_done": (int, float),
+    "ops_predicted": (int, float),
+    "eta_s": (int, float),
+    "phase": (str,),
+}
+
+
+class MemorySink:
+    """Keeps every event in a list -- tests and in-process readers."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def write(self, event: dict) -> None:
+        """Append ``event`` to the in-memory list."""
+        self.events.append(event)
+
+    def of_type(self, type_: str) -> list[dict]:
+        """Events filtered to one ``type``."""
+        return [e for e in self.events if e.get("type") == type_]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class JsonlSink:
+    """Appends one JSON line per event to a stream file.
+
+    The file is opened line-buffered in append mode so a concurrent
+    ``repro top --events`` follower sees events as they happen; parent
+    directories are created on demand.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        parent = os.path.dirname(str(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh = open(path, "a", buffering=1, encoding="utf-8")
+
+    def write(self, event: dict) -> None:
+        """Serialize ``event`` as one line (a single ``write`` call)."""
+        self._fh.write(json.dumps(event, default=str) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the stream file."""
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - best-effort flush
+            pass
+
+
+class TickerSink:
+    """Single-line stderr progress ticker, time-throttled.
+
+    Only ``progress`` and ``worker.stalled`` events render (samples and
+    heartbeats would just flicker); re-renders are capped at one per
+    ``min_interval_s`` except for terminal events (``frac >= 1``).
+    """
+
+    def __init__(self, stream=None, min_interval_s: float = 0.2):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self._last_render = 0.0
+
+    def write(self, event: dict) -> None:
+        """Render progress / stall events to the ticker stream."""
+        type_ = event.get("type")
+        if type_ == "worker.stalled":
+            self.stream.write(
+                f"\nWARNING worker {event.get('worker_pid')} stalled: "
+                f"silent {event.get('silent_s', 0):.1f}s on "
+                f"{event.get('last_task')!r}\n")
+            return
+        if type_ != "progress":
+            return
+        now = time.monotonic()
+        frac = float(event.get("frac", 0.0))
+        if frac < 1.0 and now - self._last_render < self.min_interval_s:
+            return
+        self._last_render = now
+        eta = event.get("eta_s")
+        eta_txt = f"  eta {eta:.1f}s" if isinstance(eta, (int, float)) \
+            else ""
+        bar_n = int(round(20 * min(max(frac, 0.0), 1.0)))
+        self.stream.write(
+            f"\r[{'#' * bar_n}{'.' * (20 - bar_n)}] {100 * frac:5.1f}% "
+            f"{event.get('label', '')}{eta_txt}   ")
+        if frac >= 1.0:
+            self.stream.write("\n")
+
+    def close(self) -> None:
+        """Nothing to release (the stream is borrowed)."""
+
+
+class EventBus:
+    """Thread-safe fan-out of stamped events to registered sinks."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sinks: list = []
+
+    def add_sink(self, sink) -> None:
+        """Register ``sink`` (any object with ``write``/``close``)."""
+        with self._lock:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        """Unregister ``sink`` if present (it is not closed)."""
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def sinks(self) -> list:
+        """Snapshot of the registered sinks."""
+        with self._lock:
+            return list(self._sinks)
+
+    def emit(self, type_: str, **fields) -> dict:
+        """Stamp and publish one event; returns the event dict."""
+        event = {"type": type_, "ts": time.time(), "pid": os.getpid(),
+                 **fields}
+        with self._lock:
+            sinks = list(self._sinks)
+        for sink in sinks:
+            try:
+                sink.write(event)
+            except Exception:  # pragma: no cover - sink must not kill run
+                pass
+        return event
+
+    def close(self) -> None:
+        """Close and drop every sink."""
+        with self._lock:
+            sinks, self._sinks = self._sinks, []
+        for sink in sinks:
+            sink.close()
+
+
+_bus = EventBus()
+
+
+def bus() -> EventBus:
+    """The process-wide bus instance."""
+    return _bus
+
+
+def enable() -> None:
+    """Turn event publication on."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn event publication off (sinks stay registered)."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether :func:`emit` publishes."""
+    return _enabled
+
+
+def emit(type_: str, **fields) -> dict | None:
+    """Publish an event -- no-op (returns ``None``) while disabled."""
+    if not _enabled:
+        return None
+    return _bus.emit(type_, **fields)
+
+
+def add_sink(sink) -> None:
+    """Register a sink on the process-wide bus."""
+    _bus.add_sink(sink)
+
+
+def remove_sink(sink) -> None:
+    """Unregister a sink from the process-wide bus."""
+    _bus.remove_sink(sink)
+
+
+def reset() -> None:
+    """Disable publication and close/drop every sink."""
+    disable()
+    _bus.close()
+
+
+# ------------------------------------------------------------ validation
+
+def validate_event(event) -> list[str]:
+    """Schema errors of one event dict (empty list = valid)."""
+    errors = []
+    if not isinstance(event, dict):
+        return [f"event is not an object: {event!r}"]
+    type_ = event.get("type")
+    if not isinstance(type_, str):
+        return [f"missing/invalid 'type': {type_!r}"]
+    if type_ not in EVENT_SCHEMA:
+        return [f"unknown event type {type_!r}"]
+    if not isinstance(event.get("ts"), (int, float)):
+        errors.append(f"{type_}: missing/invalid 'ts'")
+    if not isinstance(event.get("pid"), int):
+        errors.append(f"{type_}: missing/invalid 'pid'")
+    for field, kinds in EVENT_SCHEMA[type_].items():
+        value = event.get(field)
+        if not isinstance(value, kinds) or isinstance(value, bool):
+            errors.append(f"{type_}: field {field!r} should be "
+                          f"{'/'.join(k.__name__ for k in kinds)}, "
+                          f"got {value!r}")
+    if type_ == "progress":
+        for field, kinds in _PROGRESS_OPTIONAL.items():
+            value = event.get(field)
+            if value is not None and not isinstance(value, kinds):
+                errors.append(f"progress: optional field {field!r} "
+                              f"should be "
+                              f"{'/'.join(k.__name__ for k in kinds)}, "
+                              f"got {value!r}")
+    return errors
+
+
+def validate_events(events) -> tuple[int, list[str]]:
+    """Validate an iterable of event dicts; ``(count, errors)``."""
+    count = 0
+    errors: list[str] = []
+    for i, event in enumerate(events):
+        count += 1
+        errors.extend(f"event {i}: {e}" for e in validate_event(event))
+    return count, errors
+
+
+def validate_events_file(path) -> tuple[int, list[str]]:
+    """Validate a JSONL event stream file; ``(count, errors)``.
+
+    Unparseable lines are schema errors too (a live stream must never
+    tear: the JSONL sink writes each event with a single buffered
+    ``write``).
+    """
+    count = 0
+    errors: list[str] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            count += 1
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: not JSON ({exc})")
+                continue
+            errors.extend(f"line {lineno}: {e}"
+                          for e in validate_event(event))
+    return count, errors

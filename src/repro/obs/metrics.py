@@ -22,12 +22,14 @@ __all__ = [
     "MAX_SAMPLES",
     "MetricsRegistry",
     "percentile",
+    "counter",
     "disable",
     "enable",
     "inc",
     "is_enabled",
     "merge_counters",
     "observe",
+    "prometheus",
     "registry",
     "reset",
     "set_gauge",
@@ -212,9 +214,25 @@ def merge_counters(counters: dict) -> None:
     _registry.merge_counters(counters)
 
 
+def counter(name: str) -> float:
+    """Current value of a counter (works regardless of the flag)."""
+    return _registry.counter(name)
+
+
 def snapshot() -> dict:
     """Snapshot the registry (works regardless of the enabled flag)."""
     return _registry.snapshot()
+
+
+def prometheus() -> str:
+    """Registry snapshot in Prometheus text exposition format.
+
+    The scrape surface of ``repro serve-metrics``; rendering lives in
+    :func:`repro.obs.live.render_prometheus` (lazy import -- the
+    registry stays dependency-free).
+    """
+    from repro.obs.live import render_prometheus
+    return render_prometheus(snapshot())
 
 
 def reset() -> None:

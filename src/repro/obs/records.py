@@ -31,7 +31,9 @@ __all__ = [
     "DEFAULT_RUNS_PATH",
     "RunRecord",
     "collect",
+    "fsync_from_env",
     "git_revision",
+    "host_meta",
     "json_default",
     "listing_result_from_dict",
     "listing_result_to_dict",
@@ -43,6 +45,8 @@ __all__ = [
 
 DEFAULT_RUNS_PATH = pathlib.Path("benchmarks") / "results" / "runs.jsonl"
 
+_FALSY = {"0", "false", "no", "off"}
+
 _git_rev_cache: str | None = None
 _git_rev_known = False
 
@@ -53,6 +57,35 @@ def runs_path(path=None) -> pathlib.Path:
         return pathlib.Path(path)
     env = os.environ.get("REPRO_RUNS_FILE", "").strip()
     return pathlib.Path(env) if env else DEFAULT_RUNS_PATH
+
+
+def fsync_from_env() -> bool:
+    """Whether appends fsync: ``REPRO_FSYNC`` (default on).
+
+    Benchmark drivers set ``REPRO_FSYNC=0`` so a tight emit loop is not
+    dominated by per-record disk flushes; the ``O_APPEND``
+    single-``write`` append stays atomic either way -- only the
+    durability-on-power-loss guarantee is relaxed.
+    """
+    return os.environ.get("REPRO_FSYNC", "").strip().lower() not in _FALSY
+
+
+def host_meta() -> dict:
+    """Host metadata making records comparable across machines.
+
+    Attached to benchmark sidecars and surfaced by ``repro report
+    trends``: results from a 4-core CI runner and a 64-core box must
+    never be averaged silently.
+    """
+    import platform
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "native": os.environ.get("REPRO_NATIVE", "").strip().lower()
+        in {"1", "true", "yes", "on"},
+    }
 
 
 def git_revision() -> str | None:
@@ -142,11 +175,20 @@ def collect(name: str, config: dict | None = None,
         spans = _spans.pop_finished()
     span_dicts = [s.to_dict() if hasattr(s, "to_dict") else s
                   for s in spans]
+    metrics = _metrics.snapshot()
+    # While the live runtime is on, the sampler's ring-buffered
+    # RSS/CPU series rides into the record (lazy import: live imports
+    # records' siblings, never the other way on the cold path).
+    from repro.obs import live as _live
+    if _live.is_enabled():
+        series = _live.sampler_series()
+        if series:
+            metrics["resources"] = series
     return RunRecord(
         name=name,
         config=dict(config or {}),
         spans=span_dicts,
-        metrics=_metrics.snapshot(),
+        metrics=metrics,
         meta={
             "git_rev": git_revision(),
             "python": sys.version.split()[0],
@@ -156,17 +198,23 @@ def collect(name: str, config: dict | None = None,
 
 
 def write_record(record: RunRecord, path=None,
-                 fsync: bool = True) -> pathlib.Path:
+                 fsync: bool | None = None) -> pathlib.Path:
     """Append ``record`` as one JSONL line; returns the sink path.
 
     The append is atomic at the line level: the record is serialized
     fully *before* the file is touched, then written through one
-    ``O_APPEND`` descriptor (and fsync'd by default), so a crashed or
-    concurrent writer can tear at most its own line -- it can never
-    interleave bytes into another record. :func:`load_records` keeps
-    its skip-with-warning path as the fallback for histories written
-    before this guarantee (or torn by power loss mid-sector).
+    ``O_APPEND`` descriptor, so a crashed or concurrent writer can tear
+    at most its own line -- it can never interleave bytes into another
+    record. :func:`load_records` keeps its skip-with-warning path as
+    the fallback for histories written before this guarantee (or torn
+    by power loss mid-sector).
+
+    ``fsync=None`` (the default) consults ``REPRO_FSYNC`` via
+    :func:`fsync_from_env`: flushes stay on unless a caller (the
+    benchmark drivers) opts out of per-append durability.
     """
+    if fsync is None:
+        fsync = fsync_from_env()
     sink = runs_path(path)
     sink.parent.mkdir(parents=True, exist_ok=True)
     payload = (record.to_json() + "\n").encode("utf-8")

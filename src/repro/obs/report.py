@@ -228,6 +228,8 @@ def trend_rows(records) -> list[dict]:
     for (name, rev), group in groups.items():
         recs = group["records"]
         walls = [record_wall_ms(r) for r in recs]
+        hosts = sorted({label for label in (
+            _host_label(r.meta.get("host")) for r in recs) if label})
         counters: dict[str, float] = {}
         for metric in _TREND_COUNTERS:
             vals = [r.metrics.get("counters", {}).get(metric)
@@ -253,9 +255,28 @@ def trend_rows(records) -> list[dict]:
             "wall_ms": summarize_values(walls),
             "counters": counters,
             "quantiles": quantiles,
+            "host": "+".join(hosts) if hosts else None,
         })
     rows.sort(key=lambda r: (r["name"], r["first_ts"] or 0.0))
     return rows
+
+
+def _host_label(host) -> str | None:
+    """Compact ``host`` column value from a record's host metadata.
+
+    ``<cpus>c/<machine>[/native]`` -- enough to spot that two trend
+    rows came from different hardware (or toolchains) before comparing
+    their wall clocks. Records written before host metadata existed
+    yield ``None``.
+    """
+    if not isinstance(host, dict):
+        return None
+    cpus = host.get("cpu_count")
+    machine = host.get("machine") or "?"
+    label = f"{cpus}c/{machine}" if cpus else str(machine)
+    if host.get("native"):
+        label += "/native"
+    return label
 
 
 def format_trends(rows) -> str:
@@ -265,7 +286,7 @@ def format_trends(rows) -> str:
     lines = [f"{'bench':<28} {'git_rev':>9} {'runs':>5} "
              f"{'wall ms (med+/-MAD)':>21} {'lister.ops':>12} "
              f"{'triangles':>10} {'instances':>10} {'divergent':>10} "
-             f"{'task ms p50/p95/p99':>22}"]
+             f"{'task ms p50/p95/p99':>22} {'host':>14}"]
     for row in rows:
         wall = row["wall_ms"]
         counters = row["counters"]
@@ -283,7 +304,7 @@ def format_trends(rows) -> str:
             f"{fmt('lister.ops'):>12} {fmt('lister.triangles'):>10} "
             f"{fmt('harness.instances'):>10} "
             f"{fmt('harness.divergent_cells'):>10} "
-            f"{task_col:>22}")
+            f"{task_col:>22} {row.get('host') or '--':>14}")
     return "\n".join(lines)
 
 
