@@ -1,25 +1,30 @@
 """Implementation throughput of the listing engines.
 
 Not a paper table -- an engineering companion to Table 3: how fast
-this library's listers run per edge in this interpreter, for both the
-instrumented pure-Python reference and the vectorized
-:mod:`repro.engine` kernels (count-only, the paper-scale workload).
-pytest-benchmark times the individual methods; the summary test
-measures every (method, engine) pair on one oriented graph, prints
-ns/edge with the numpy-over-python speedup, and persists the numbers
-via :func:`_common.emit` as ``BENCH_lister_throughput.json`` -- both
-under ``benchmarks/results/`` and as a copy at the repo root (the
-tracked perf-trajectory location) -- so future runs and ``repro
-report compare`` can diff engine performance for regressions.
+this library's listers run per edge in this interpreter, across all
+three engines: the instrumented pure-Python reference, the *pure*
+NumPy kernels (``use_native=False``), and the compiled native kernels
+of :mod:`repro.engine.native` (count-only, the paper-scale workload;
+plus one native full-listing measurement). pytest-benchmark times the
+individual methods; the summary test measures every (method, engine)
+triple on one oriented graph, prints side-by-side ns/edge columns,
+and persists the numbers via :func:`_common.emit` as
+``BENCH_lister_throughput.json`` -- both under ``benchmarks/results/``
+and as a copy at the repo root (the tracked perf-trajectory location)
+-- so future runs and ``repro report compare`` can diff engine
+performance for regressions. ``repro bench --native-compare`` runs
+the same comparison from the CLI (see
+:mod:`repro.engine.benchmark`).
 
 Scale: ``REPRO_BENCH_FULL=1`` runs the acceptance configuration
-(``n = 10^5``, where the numpy engine must be >= 10x on the four
-fundamental methods); the default is a quick ``n = 3000`` pass.
+(``n = 10^5``, where pure NumPy must be >= 5x over python, native
+>= 5x over pure NumPy, and the engine as shipped >= 10x over python
+on the four fundamental methods); the default is a quick ``n = 3000``
+pass with a relaxed native bar.
 """
 
 import pathlib
 import shutil
-import time
 
 import numpy as np
 import pytest
@@ -27,9 +32,10 @@ import pytest
 from repro import DescendingDegree, DiscretePareto, orient
 from repro.distributions import root_truncation
 from repro.distributions.sampling import sample_degree_sequence
+from repro.engine import native
+from repro.engine.benchmark import native_compare
 from repro.graphs.generators import generate_graph
 from repro.listing import list_triangles
-from repro.engine import native
 
 from _common import FULL, emit
 
@@ -40,6 +46,12 @@ N = 100_000 if FULL else 3000
 METHODS = ("T1", "T2", "E1", "E4", "L1", "L3")
 FUNDAMENTAL = ("T1", "T2", "E1", "E4")
 
+ENGINES = ["python", "numpy",
+           pytest.param("native",
+                        marks=pytest.mark.skipif(
+                            not native.available(),
+                            reason="no C toolchain"))]
+
 
 @pytest.fixture(scope="module")
 def oriented():
@@ -48,13 +60,14 @@ def oriented():
     degrees = sample_degree_sequence(dist, N, rng)
     graph = generate_graph(degrees, rng)
     g = orient(graph, DescendingDegree())
-    # warm both engines' caches (hash set / Bloom + uint32 mirrors)
+    # warm every engine's caches (hash set / Bloom + uint32 mirrors /
+    # native block decomposition)
     g.edge_key_set()
     list_triangles(g, "T1", collect=False, engine="numpy")
     return g
 
 
-@pytest.mark.parametrize("engine", ["python", "numpy"])
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("method", FUNDAMENTAL)
 def test_lister_throughput(benchmark, oriented, method, engine):
     result = benchmark.pedantic(
@@ -65,52 +78,36 @@ def test_lister_throughput(benchmark, oriented, method, engine):
 
 
 def test_throughput_summary(benchmark, oriented):
-    def run():
-        rows = []
-        for method in METHODS:
-            timings = {}
-            counts = {}
-            ops = None
-            for engine in ("python", "numpy"):
-                start = time.perf_counter()
-                result = list_triangles(oriented, method,
-                                        collect=False, engine=engine)
-                timings[engine] = time.perf_counter() - start
-                counts[engine] = result.count
-                ops = result.ops
-            assert counts["python"] == counts["numpy"], method
-            rows.append((method, ops, counts["numpy"],
-                         timings["python"], timings["numpy"]))
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    m = oriented.m
-    lines = [f"Engine throughput (n={N}, m={m}, descending, "
-             f"count-only; native={native.available()})",
-             f"{'method':>7} {'ops':>12} {'py ns/edge':>11} "
-             f"{'np ns/edge':>11} {'speedup':>8}"]
-    data = {"n": N, "m": int(m), "native": native.available(),
-            "full_scale": FULL, "methods": {}}
-    for method, ops, count, t_py, t_np in rows:
-        py_ns = t_py / m * 1e9
-        np_ns = t_np / m * 1e9
-        speedup = t_py / t_np if t_np else float("inf")
-        lines.append(f"{method:>7} {ops:>12} {py_ns:>11.1f} "
-                     f"{np_ns:>11.1f} {speedup:>7.1f}x")
-        data["methods"][method] = {
-            "ops": int(ops), "triangles": int(count),
-            "python_ns_per_edge": py_ns, "numpy_ns_per_edge": np_ns,
-            "speedup": speedup,
-        }
-    path = emit("BENCH_lister_throughput", "\n".join(lines),
-                config=data, data=data)
+    text, data = benchmark.pedantic(
+        lambda: native_compare(oriented, methods=METHODS),
+        rounds=1, iterations=1)
+    data["full_scale"] = FULL
+    path = emit("BENCH_lister_throughput", text, config=data, data=data)
     # also publish the JSON sidecar at the repo root -- the tracked
     # perf-trajectory location future sessions diff against
     sidecar = path.with_suffix(".json")
     repo_root = pathlib.Path(__file__).resolve().parent.parent
     shutil.copyfile(sidecar, repo_root / sidecar.name)
-    for method, __, __, t_py, t_np in rows:
-        assert t_np > 0 and t_py > 0
-        if FULL and method in FUNDAMENTAL:
-            # the PR's acceptance bar at n = 10^5
-            assert t_py / t_np >= 10.0, (method, t_py / t_np)
+
+    for method, cell in data["methods"].items():
+        assert cell["python_ns_per_edge"] > 0
+        assert cell["numpy_ns_per_edge"] > 0
+        if method not in FUNDAMENTAL:
+            continue
+        if FULL:
+            # pure NumPy vs python at n = 10^5. (The historic >= 10x
+            # bar was measured against a column that silently included
+            # the v1 native count kernel; honest pure NumPy lands at
+            # ~5-20x depending on the method's candidate volume.)
+            assert cell["speedup_numpy"] >= 5.0, (method, cell)
+        if cell.get("native_ns_per_edge") is None:
+            continue
+        # native vs *pure* NumPy: >= 5x at acceptance scale, and still
+        # clearly ahead on the quick pass (small-n fixed overheads)
+        bar = 5.0 if FULL else 2.0
+        assert cell["speedup_native"] >= bar, (method, cell)
+        if FULL:
+            # the historic end-to-end bar: python vs the engine as
+            # shipped (native-accelerated) stays >= 10x
+            assert cell["speedup_numpy"] * cell["speedup_native"] \
+                >= 10.0, (method, cell)

@@ -10,6 +10,7 @@ Subcommands::
     repro regimes    finiteness classification across tail indices
     repro sweep      parallel Monte-Carlo sim-vs-model sweep over n
     repro profile    phase-time breakdown over a method/order grid
+    repro bench      engine micro-benchmarks (--native-compare)
     repro report     run-history analytics & the perf-regression gate
                      (trends | baseline | compare | divergence | html)
     repro export     recorded runs -> Chrome trace JSON / flame stacks
@@ -400,6 +401,45 @@ def _report_records(args):
             f"({len(records)} record(s) total); loosen --name/"
             f"--git-rev/--last")
     return filtered
+
+
+def cmd_bench(args) -> int:
+    """``repro bench``: engine micro-benchmarks from the CLI.
+
+    ``--native-compare`` renders the side-by-side python / pure-NumPy
+    / native ns-per-edge table of :mod:`repro.engine.benchmark` on a
+    synthetic (or loaded) graph, and ``--json`` persists the
+    machine-readable sidecar (with host metadata, incl. compiler
+    version and native thread count) for offline diffing.
+    """
+    from repro.engine.benchmark import native_compare
+    from repro.obs import records as obs_records
+    if not args.native_compare:
+        raise SystemExit("nothing to do: pass --native-compare")
+    rng = np.random.default_rng(args.seed)
+    if args.graph:
+        graph = load_edge_list(args.graph)
+    else:
+        dist = _dist_from_args(args)
+        dist_n = dist.truncate(root_truncation(args.n))
+        degrees = sample_degree_sequence(dist_n, args.n, rng)
+        graph = generate_graph(degrees, rng)
+    oriented = orient(graph, _ORDERS[args.order](), rng=rng)
+    oriented.edge_key_set()  # warm the python engine's membership set
+    methods = [m.strip().upper() for m in args.methods.split(",")
+               if m.strip()]
+    text, data = native_compare(oriented, methods=methods,
+                                threads=args.threads,
+                                repeats=args.repeats)
+    print(text)
+    if args.json:
+        import json as _json
+        data["host"] = obs_records.host_meta()
+        with open(args.json, "w") as fh:
+            _json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -948,6 +988,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write collapsed flame stacks of the "
                         "profiled spans")
     p.set_defaults(func=cmd_profile)
+
+    p = add_parser("bench",
+                   help="engine micro-benchmarks "
+                        "(--native-compare: py/numpy/native ns/edge)")
+    p.add_argument("--native-compare", action="store_true",
+                   help="compare python / pure-NumPy / native engines")
+    p.add_argument("--graph", default=None,
+                   help="edge-list path (omit to bench a synthetic "
+                        "graph)")
+    p.add_argument("--n", type=int, default=3000,
+                   help="synthetic graph size (ignored with --graph)")
+    p.add_argument("--alpha", type=float, default=1.7,
+                   help="synthetic Pareto tail index")
+    p.add_argument("--beta", type=float, default=None,
+                   help="Pareto scale (default: 30 (alpha - 1))")
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--order", default="descending",
+                   choices=sorted(_ORDERS))
+    p.add_argument("--methods", default=",".join(
+        ("T1", "T2", "E1", "E4", "L1", "L3")),
+        help="comma-separated listing methods")
+    p.add_argument("--threads", type=int, default=None,
+                   help="native thread count (default: "
+                        "REPRO_NATIVE_THREADS / cpu count)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats per cell (best is kept)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the machine-readable comparison")
+    p.set_defaults(func=cmd_bench)
     return parser
 
 

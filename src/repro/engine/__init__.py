@@ -10,9 +10,17 @@ grouped-arange candidate expansion, and sorted-key membership probes
 returning bit-identical triangle sets, counts, and ``ops`` (computed
 in closed form from the oriented degrees, eqs. (7)-(9)).
 
-Select it per call (``list_triangles(..., engine="numpy")``) or let
-the ``"auto"`` policy pick it for count-only workloads; see
-docs/PERFORMANCE.md for the design and measured speedups.
+When a C toolchain is present, :mod:`repro.engine.native` compiles a
+small pthreads kernel library at first use (merge- and bitmap-based
+forward intersection, counting *and* triangle emission, deterministic
+multi-thread block driver) and both the count and the collect paths
+drop into it transparently; ``REPRO_NATIVE=0`` or a failed compile
+falls back to the pure-NumPy kernels with identical results.
+
+Select an engine per call (``list_triangles(..., engine="numpy")``,
+``engine="native"`` to require the compiled kernels) or let the
+``"auto"`` policy pick; see docs/PERFORMANCE.md for the design and
+measured speedups.
 """
 
 from repro.engine import native
@@ -21,10 +29,18 @@ from repro.engine.kernels import (
     NUMPY_METHODS,
     run_numpy,
 )
+from repro.engine.native import (
+    KERNEL_KINDS,
+    list_triangles_array,
+    stream_triangles,
+)
 
 __all__ = [
     "CHUNK_CANDIDATES",
+    "KERNEL_KINDS",
     "NUMPY_METHODS",
+    "list_triangles_array",
     "native",
     "run_numpy",
+    "stream_triangles",
 ]

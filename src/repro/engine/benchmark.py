@@ -1,0 +1,136 @@
+"""Side-by-side engine comparison: python vs. pure NumPy vs. native.
+
+One measurement routine shared by ``benchmarks/bench_lister_throughput``
+and ``repro bench --native-compare``: for each method it times the
+count-only workload on all three engines of
+:func:`repro.listing.list_triangles` -- the instrumented Python
+reference, the NumPy kernels with the compiled path explicitly
+disabled (``use_native=False``, so the column is honest about what
+pure NumPy costs), and the compiled kernels -- plus one full native
+*listing* run (the operation the paper's cost model prices). Results
+come back as a rendered table and a JSON-ready dict whose
+``"methods"`` mapping feeds :func:`repro.obs.report.record_cells`:
+``*_ns_per_edge`` entries compare as wall-clock (skipped by
+``--no-time``), ``ops``/``triangles`` as deterministic values, and
+``speedup_*`` ratios are excluded from baseline comparison by name.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine import native
+from repro.engine.kernels import run_numpy
+from repro.listing.api import list_triangles
+
+#: Default comparison set: the paper's four fundamental methods plus
+#: one lookup iterator per probe direction.
+DEFAULT_METHODS = ("T1", "T2", "E1", "E4", "L1", "L3")
+
+
+def _timed(fn, repeats: int = 1):
+    """Best-of-``repeats`` wall-clock (single-shot timings at small
+    ``n`` are dominated by scheduler noise, which would make the
+    bench's speedup gates flaky)."""
+    result, best = None, float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def native_compare(oriented, methods=DEFAULT_METHODS,
+                   threads: int | None = None, repeats: int = 3):
+    """Measure every (method, engine) pair on one oriented graph.
+
+    Returns ``(text, data)``: a rendered side-by-side table and the
+    machine-readable dict described in the module docstring. Each
+    timing is the best of ``repeats`` runs. The native columns are
+    ``None``-valued (and rendered as ``--``) when the compiled kernels
+    are unavailable; the comparison itself never requires them.
+    """
+    m = oriented.m or 1
+    have_native = native.available()
+    # warm the pure-NumPy caches (Bloom table + uint32 mirrors) so the
+    # first timed method doesn't pay the one-off build
+    run_numpy(oriented, methods[0] if methods else "T1",
+              collect=False, use_native=False)
+    data = {
+        "n": int(oriented.n),
+        "m": int(oriented.m),
+        "native": have_native,
+        "native_status": native.status(),
+        "methods": {},
+    }
+
+    native_list_ns = None
+    if have_native:
+        # warm the block decomposition outside the timed region, then
+        # time one full listing emission (method-independent)
+        native.count_triangles(oriented, threads=threads)
+        arr, elapsed = _timed(
+            lambda: native.list_triangles_array(oriented,
+                                                threads=threads),
+            repeats)
+        if arr is not None:
+            native_list_ns = elapsed / m * 1e9
+            stats = native.last_stats()
+            data["native_kernel"] = stats["kind"]
+            data["native_threads"] = stats["threads"]
+    data["native_list_ns_per_edge"] = native_list_ns
+
+    rows = []
+    for method in methods:
+        py, t_py = _timed(lambda: list_triangles(
+            oriented, method, collect=False, engine="python"))
+        pure, t_np = _timed(lambda: run_numpy(
+            oriented, method, collect=False, use_native=False),
+            repeats)
+        assert py.count == pure.count, method
+        t_nat = None
+        if have_native:
+            nat, t_nat = _timed(lambda: run_numpy(
+                oriented, method, collect=False, use_native=True),
+                repeats)
+            assert nat.count == py.count, method
+        rows.append((method, py.ops, py.count, t_py, t_np, t_nat))
+
+    header = (f"Engine throughput (n={oriented.n}, m={oriented.m}, "
+              f"count-only; native={have_native}"
+              + (f", kernel={data.get('native_kernel')}"
+                 f", threads={data.get('native_threads')}"
+                 if have_native else "") + ")")
+    lines = [header,
+             f"{'method':>7} {'ops':>12} {'py ns/edge':>11} "
+             f"{'np ns/edge':>11} {'nat ns/edge':>12} "
+             f"{'py/np':>7} {'np/nat':>7}"]
+    for method, ops, count, t_py, t_np, t_nat in rows:
+        py_ns = t_py / m * 1e9
+        np_ns = t_np / m * 1e9
+        speedup_np = t_py / t_np if t_np else float("inf")
+        cell = {
+            "ops": int(ops), "triangles": int(count),
+            "python_ns_per_edge": py_ns,
+            "numpy_ns_per_edge": np_ns,
+            "speedup_numpy": speedup_np,
+            "native_ns_per_edge": None,
+            "speedup_native": None,
+        }
+        if t_nat is not None:
+            cell["native_ns_per_edge"] = t_nat / m * 1e9
+            cell["speedup_native"] = (t_np / t_nat if t_nat
+                                      else float("inf"))
+            nat_col = f"{cell['native_ns_per_edge']:>12.1f}"
+            nat_speed = f"{cell['speedup_native']:>6.1f}x"
+        else:
+            nat_col = f"{'--':>12}"
+            nat_speed = f"{'--':>7}"
+        lines.append(f"{method:>7} {ops:>12} {py_ns:>11.1f} "
+                     f"{np_ns:>11.1f} {nat_col} "
+                     f"{speedup_np:>6.1f}x {nat_speed}")
+        data["methods"][method] = cell
+    if native_list_ns is not None:
+        lines.append(f"{'(list)':>7} {'-':>12} {'-':>11} {'-':>11} "
+                     f"{native_list_ns:>12.1f} {'-':>7} {'-':>7}")
+    return "\n".join(lines), data

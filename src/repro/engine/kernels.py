@@ -31,8 +31,12 @@ Because every method lists the same triangle set, count-only calls
 (``collect=False``) are free to run the cheapest of the three base
 shapes (T1/T2/T3 candidate streams, picked by ``component_ops``
 argmin) while still reporting the *requested* method's ``ops``. When a
-C toolchain is available the count path drops into a compiled
-merge-intersection kernel (:mod:`repro.engine.native`); set
+C toolchain is available both paths drop into the compiled kernels of
+:mod:`repro.engine.native`: counts run the branchless count kernel and
+collecting runs emit the triangle array directly from C (identical
+canonical ``x < y < z`` triples -- the orientation always points
+edges at smaller labels -- so only the enumeration *order* differs,
+exactly as it already does between the python and numpy engines). Set
 ``REPRO_NATIVE=0`` to stay pure NumPy.
 
 Memory stays bounded: candidate pairs are materialized in chunks of
@@ -209,6 +213,11 @@ class _GraphCache:
 
 _CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
+#: Closed-form cost components per graph (eqs. (7)-(9)); keyed weakly
+#: so repeated ``run_numpy`` calls on one graph (a bench sweeping all
+#: 18 methods, say) pay the degree reductions once.
+_COMPS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
 
 def _graph_cache(oriented) -> _GraphCache:
     cache = _CACHE.get(oriented)
@@ -216,6 +225,14 @@ def _graph_cache(oriented) -> _GraphCache:
         cache = _GraphCache(oriented)
         _CACHE[oriented] = cache
     return cache
+
+
+def _component_ops(oriented) -> dict:
+    comps = _COMPS.get(oriented)
+    if comps is None:
+        comps = component_ops(oriented.out_degrees, oriented.in_degrees)
+        _COMPS[oriented] = comps
+    return comps
 
 
 def _windows(oriented, kernel, rows, vals, idx, ptr, lens):
@@ -363,42 +380,93 @@ def _run_kernel(oriented, kernel, collect, stats=None, label=""):
     return count, batches
 
 
+def _publish_native_stats() -> None:
+    """Fold the last native run's telemetry into ``engine.native.*``.
+
+    Per-thread op tallies become labelled counters
+    (``engine.native.ops.t<k>``) -- deterministic for a fixed thread
+    count by the static block assignment, so run-history comparisons
+    on them are stable. Called only while metrics are enabled.
+    """
+    ns = _native.last_stats()
+    if ns is None:
+        return
+    _metrics.inc("engine.native.runs")
+    _metrics.inc("engine.native.ops", ns["ops"])
+    _metrics.set_gauge("engine.native_threads", float(ns["threads"]))
+    _metrics.set_gauge("engine.native_blocks", float(ns["blocks"]))
+    for t, t_ops in enumerate(ns["ops_per_thread"]):
+        _metrics.inc(f"engine.native.ops.t{t}", t_ops)
+
+
 def _count_fast(oriented, stats=None) -> tuple[int, bool]:
     """Exact triangle count by the cheapest route available.
 
-    Tries the compiled merge-intersection kernel first (identical
-    count, ~ns per comparison), then falls back to the cheapest of the
-    three vectorized base shapes -- every method lists the same
-    triangle set, so count-only work is free to pick its stream.
-    Returns ``(count, used_native)``.
+    Tries the compiled forward kernel first (identical count, ~ns per
+    comparison), then falls back to the cheapest of the three
+    vectorized base shapes -- every method lists the same triangle
+    set, so count-only work is free to pick its stream. Returns
+    ``(count, used_native)``.
     """
     native_count = _native.count_triangles(oriented)
     if native_count is not None:
         return native_count, True
-    comps = component_ops(oriented.out_degrees, oriented.in_degrees)
+    comps = _component_ops(oriented)
     shape = min(("T1", "T2", "T3"), key=comps.get)
     count, _ = _run_kernel(oriented, _KERNELS[shape], collect=False,
                            stats=stats, label=f"count:{shape}")
     return count, False
 
 
-def run_numpy(oriented, method: str = "E1",
-              collect: bool = True) -> ListingResult:
+def _collect_fast(oriented, kernel, method, stats=None,
+                  use_native=None) -> tuple[int, list, bool]:
+    """Full triangle list by the fastest route that matches semantics.
+
+    ``use_native=None`` tries the compiled emitting kernel and falls
+    back to the vectorized chunk loop; ``False`` skips native
+    entirely (the caller wants the NumPy enumeration order);
+    ``True`` requires it (raises if the library is unavailable).
+    Returns ``(count, triangles, used_native)``.
+    """
+    if use_native is not False:
+        arr = _native.list_triangles_array(oriented)
+        if arr is not None:
+            return arr.shape[0], list(map(tuple, arr.tolist())), True
+        if use_native:
+            raise RuntimeError(
+                "native engine requested but unavailable: "
+                f"{_native.status()}")
+    count, batches = _run_kernel(oriented, kernel, collect=True,
+                                 stats=stats, label=f"list:{method}")
+    if batches:
+        stacked = np.concatenate(batches, axis=0)
+        triangles = list(map(tuple, stacked.tolist()))
+    else:
+        triangles = []
+    return count, triangles, False
+
+
+def run_numpy(oriented, method: str = "E1", collect: bool = True,
+              use_native: bool | None = None) -> ListingResult:
     """Run one of the 18 methods through the vectorized engine.
 
     Returns a :class:`ListingResult` equivalent to the pure-Python
-    engine's: identical triangles (as a set -- batch order differs
-    from loop order), identical ``count``, ``ops`` and
+    engine's: identical triangles (as a set -- enumeration order
+    differs from loop order), identical ``count``, ``ops`` and
     ``hash_inserts``; ``comparisons`` is closed-form (see module
-    docstring). ``extra["engine"]`` is ``"numpy"``;
-    ``extra["native"]`` reports whether the compiled count kernel ran.
+    docstring). ``use_native`` gates the compiled kernels: ``None``
+    (default) uses them when available, ``False`` stays pure NumPy,
+    ``True`` requires them (``RuntimeError`` otherwise).
+    ``extra["engine"]`` is ``"numpy"``; ``extra["native"]`` reports
+    whether a compiled kernel produced the result, and
+    ``extra["native_kernel"]`` names the intersection variant that ran.
     """
     method = method.upper()
     kernel = _KERNELS.get(method)
     if kernel is None:
         raise ValueError(f"unknown method {method!r}; choose from "
                          f"{NUMPY_METHODS}")
-    comps = component_ops(oriented.out_degrees, oriented.in_degrees)
+    comps = _component_ops(oriented)
     spec = get_method(method)
     ops = sum(comps[c] for c in spec.components)
     hash_inserts = oriented.m if spec.family in ("vertex", "lei") else 0
@@ -406,22 +474,38 @@ def run_numpy(oriented, method: str = "E1",
         else comps[_PROBE_COMPONENT[method]]
 
     stats = _new_stats() if _metrics.is_enabled() else None
-    used_native = False
     if collect:
-        count, batches = _run_kernel(oriented, kernel, collect=True,
-                                     stats=stats, label=f"list:{method}")
-        if batches:
-            stacked = np.concatenate(batches, axis=0)
-            triangles = list(map(tuple, stacked.tolist()))
-        else:
-            triangles = []
+        count, triangles, used_native = _collect_fast(
+            oriented, kernel, method, stats=stats, use_native=use_native)
     else:
-        count, used_native = _count_fast(oriented, stats=stats)
         triangles = None
+        if use_native:
+            count = _native.count_triangles(oriented)
+            if count is None:
+                raise RuntimeError(
+                    "native engine requested but unavailable: "
+                    f"{_native.status()}")
+            used_native = True
+        elif use_native is False:
+            comps_shape = min(("T1", "T2", "T3"), key=comps.get)
+            count, _ = _run_kernel(
+                oriented, _KERNELS[comps_shape], collect=False,
+                stats=stats, label=f"count:{comps_shape}")
+            used_native = False
+        else:
+            count, used_native = _count_fast(oriented, stats=stats)
     if stats is not None:
         _publish_stats(stats)
+    if _metrics.is_enabled() and used_native:
+        _publish_native_stats()
     _metrics.set_gauge("engine.native", 1.0 if used_native else 0.0)
 
+    extra = {"engine": "numpy", "native": used_native}
+    if used_native:
+        last = _native.last_stats()
+        if last is not None:
+            extra["native_kernel"] = last["kind"]
+            extra["native_threads"] = last["threads"]
     return ListingResult(
         method=method,
         count=count,
@@ -430,5 +514,5 @@ def run_numpy(oriented, method: str = "E1",
         comparisons=comparisons,
         hash_inserts=hash_inserts,
         n=oriented.n,
-        extra={"engine": "numpy", "native": used_native},
+        extra=extra,
     )

@@ -1,17 +1,24 @@
 """High-level entry points for the 18 listing methods.
 
-Two engines back every method:
+Three engines back every method:
 
 * ``"python"`` -- the instrumented pure-Python loops (the ground-truth
   reference; per-candidate ``ops``/``comparisons`` counting).
 * ``"numpy"`` -- the vectorized kernels of :mod:`repro.engine`
   (identical triangles/counts/``ops``, orders of magnitude faster; see
-  docs/PERFORMANCE.md).
+  docs/PERFORMANCE.md). When the compiled kernels of
+  :mod:`repro.engine.native` are available it transparently drops into
+  them for both counting and listing.
+* ``"native"`` -- the compiled kernels, *required*: raises
+  ``RuntimeError`` instead of falling back when no C toolchain is
+  available or ``REPRO_NATIVE=0`` is set.
 
-The default ``engine="auto"`` keeps the reference loops for collecting
-runs (their enumeration order is part of the documented semantics) and
-routes count-only runs (``collect=False``) through the vectorized
-engine, which is where the paper-scale workloads live.
+The default ``engine="auto"`` routes count-only runs
+(``collect=False``) through the vectorized engine, and collecting runs
+through it too whenever the native listing kernels are available
+(identical canonical triangle set, C-speed emission); without them it
+keeps the reference loops, whose enumeration order is part of the
+documented semantics.
 """
 
 from __future__ import annotations
@@ -34,7 +41,7 @@ ALL_METHODS = (VERTEX_ITERATORS + SCANNING_EDGE_ITERATORS
                + LOOKUP_EDGE_ITERATORS)
 
 #: Recognized values of the ``engine`` argument.
-ENGINES = ("auto", "python", "numpy")
+ENGINES = ("auto", "python", "numpy", "native")
 
 
 def _run_python(oriented, method: str, collect: bool) -> ListingResult:
@@ -58,12 +65,15 @@ def list_triangles(oriented, method: str = "E1", collect: bool = True,
     :class:`~repro.listing.base.ListingResult` for the returned counters.
 
     ``engine`` selects the implementation: ``"python"`` (instrumented
-    reference), ``"numpy"`` (vectorized), or ``"auto"`` (numpy for
-    count-only runs, python when collecting). Both report the same
+    reference), ``"numpy"`` (vectorized, native-accelerated when
+    possible), ``"native"`` (compiled kernels required -- raises when
+    unavailable), or ``"auto"`` (numpy for count-only runs; when
+    collecting, numpy if the native listing kernels are available and
+    python otherwise). All report the same
     ``count``/``ops``/``hash_inserts`` and -- when collecting -- the
-    same triangle set; the numpy engine's enumeration *order* and its
-    E-family ``comparisons`` follow the closed-form semantics described
-    in :mod:`repro.engine.kernels`.
+    same triangle set; the numpy/native enumeration *order* and the
+    E-family ``comparisons`` follow the closed-form semantics
+    described in :mod:`repro.engine.kernels`.
 
     Example::
 
@@ -75,15 +85,24 @@ def list_triangles(oriented, method: str = "E1", collect: bool = True,
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from "
                          f"{ENGINES}")
+    use_native = None
     if engine == "auto":
-        engine = "python" if collect else "numpy"
+        if collect:
+            from repro.engine import native as _native
+            engine = "numpy" if _native.available() else "python"
+        else:
+            engine = "numpy"
+    elif engine == "native":
+        engine = "numpy"
+        use_native = True
     with span("list", method=method, n=oriented.n, engine=engine) as sp:
         if engine == "numpy":
             from repro.engine import run_numpy
             if method not in ALL_METHODS:
                 raise ValueError(f"unknown method {method!r}; choose "
                                  f"from {ALL_METHODS}")
-            result = run_numpy(oriented, method, collect)
+            result = run_numpy(oriented, method, collect,
+                               use_native=use_native)
         else:
             result = _run_python(oriented, method, collect)
         sp.annotate(ops=result.ops, triangles=result.count)

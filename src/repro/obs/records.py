@@ -20,6 +20,7 @@ import json
 import logging
 import os
 import pathlib
+import shutil
 import subprocess
 import sys
 import time
@@ -70,21 +71,50 @@ def fsync_from_env() -> bool:
     return os.environ.get("REPRO_FSYNC", "").strip().lower() not in _FALSY
 
 
+_compiler_version_cache = _UNRESOLVED = object()
+
+
+def _compiler_version() -> str | None:
+    """First line of ``cc/gcc --version``, resolved once per process."""
+    global _compiler_version_cache
+    if _compiler_version_cache is _UNRESOLVED:
+        _compiler_version_cache = None
+        compiler = shutil.which("cc") or shutil.which("gcc")
+        if compiler is not None:
+            try:
+                proc = subprocess.run(
+                    [compiler, "--version"], capture_output=True,
+                    text=True, timeout=10)
+                if proc.returncode == 0 and proc.stdout:
+                    _compiler_version_cache = \
+                        proc.stdout.splitlines()[0].strip()
+            except (OSError, subprocess.SubprocessError):
+                pass
+    return _compiler_version_cache
+
+
 def host_meta() -> dict:
     """Host metadata making records comparable across machines.
 
     Attached to benchmark sidecars and surfaced by ``repro report
     trends``: results from a 4-core CI runner and a 64-core box must
-    never be averaged silently.
+    never be averaged silently. ``native`` reports whether the
+    compiled kernels actually resolved in this process (with the
+    failure state when they did not), ``compiler`` the toolchain
+    version line, and ``native_threads`` the thread count the block
+    driver would use.
     """
     import platform
+    from repro.engine import native as _native
     return {
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
         "machine": platform.machine(),
         "python": sys.version.split()[0],
-        "native": os.environ.get("REPRO_NATIVE", "").strip().lower()
-        in {"1", "true", "yes", "on"},
+        "native": _native.available(),
+        "native_state": _native.status()["state"],
+        "native_threads": _native.resolve_threads(),
+        "compiler": _compiler_version(),
     }
 
 

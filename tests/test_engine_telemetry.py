@@ -50,7 +50,8 @@ def engine_counters():
 class TestEngineCounters:
     def test_consistent_with_result(self, oriented):
         obs.enable()
-        result = run_numpy(oriented, "E1", collect=True)
+        result = run_numpy(oriented, "E1", collect=True,
+                           use_native=False)
         got = engine_counters()
         assert got["engine.runs"] == 1
         assert got["engine.chunks"] >= 1
@@ -65,6 +66,9 @@ class TestEngineCounters:
         assert result.count > 0
 
     def test_deterministic_for_fixed_seed(self, oriented):
+        # covers the native counters too when a toolchain is present:
+        # per-thread op tallies are deterministic by the static block
+        # assignment, so the snapshots must still match exactly
         snaps = []
         for _ in range(2):
             obs.enable()
@@ -102,11 +106,40 @@ class TestNativeGauge:
         assert result.extra["native"] is True
         assert obs.metrics.snapshot()["gauges"]["engine.native"] == 1.0
 
-    def test_collect_path_is_pure_numpy(self, oriented):
+    def test_collect_opt_out_is_pure_numpy(self, oriented):
         obs.enable()
-        result = run_numpy(oriented, "E1", collect=True)
+        result = run_numpy(oriented, "E1", collect=True,
+                           use_native=False)
         assert result.extra["native"] is False
         assert obs.metrics.snapshot()["gauges"]["engine.native"] == 0.0
+
+    def test_native_collect_reports_kernel(self, oriented):
+        if not native.available():
+            pytest.skip("no compiled kernel in this environment")
+        obs.enable()
+        result = run_numpy(oriented, "E1", collect=True)
+        assert result.extra["native"] is True
+        assert result.extra["native_kernel"] in native.KERNEL_KINDS
+        snap = obs.metrics.snapshot()
+        assert snap["gauges"]["engine.native"] == 1.0
+        assert snap["gauges"]["engine.native_threads"] >= 1.0
+
+
+class TestNativeOpCounters:
+    def test_per_thread_ops_sum_to_total(self, oriented):
+        if not native.available():
+            pytest.skip("no compiled kernel in this environment")
+        obs.enable()
+        run_numpy(oriented, "T1", collect=False)
+        counters = engine_counters()
+        total = counters["engine.native.ops"]
+        assert total > 0
+        per_thread = [v for k, v in counters.items()
+                      if k.startswith("engine.native.ops.t")]
+        assert per_thread and sum(per_thread) == total
+        stats = native.last_stats()
+        assert stats["ops"] == total
+        assert stats["triangles"] > 0
 
 
 class TestListerEngineLabel:
@@ -127,3 +160,11 @@ class TestListerEngineLabel:
         counters = obs.metrics.snapshot()["counters"]
         assert counters["lister.engine.native"] == 1
         assert "lister.engine.numpy" not in counters
+
+    def test_native_engine_value_labels_native(self, oriented):
+        if not native.available():
+            pytest.skip("no compiled kernel in this environment")
+        obs.enable()
+        list_triangles(oriented, "T1", collect=True, engine="native")
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["lister.engine.native"] == 1

@@ -480,13 +480,19 @@ class TestFsyncFlag:
         for line in sink.read_text().splitlines():
             json.loads(line)
 
-    def test_host_meta_shape(self, monkeypatch):
-        monkeypatch.setenv("REPRO_NATIVE", "1")
+    def test_host_meta_shape(self):
+        from repro.engine import native
         meta = records.host_meta()
         assert meta["cpu_count"] >= 1
         assert meta["python"]
         assert meta["machine"]
-        assert meta["native"] is True
+        # reflects whether the kernels actually resolved, plus the
+        # toolchain/thread context benchmark sidecars need
+        assert meta["native"] is native.available()
+        assert meta["native_state"] == native.status()["state"]
+        assert meta["native_threads"] >= 1
+        if meta["native"]:
+            assert meta["compiler"]
 
 
 class TestAcceptance:
