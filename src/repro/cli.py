@@ -7,6 +7,8 @@ Subcommands::
     repro model      evaluate the discrete cost model (50) / Algorithm 2
     repro limit      the n -> inf cost limit of a (method, permutation)
     repro decide     the SEI-vs-hash decision rule (section 2.4)
+    repro plan       rank every (method, ordering) candidate by modeled
+                     cost (graph / degree-law / sketch / limit backends)
     repro regimes    finiteness classification across tail indices
     repro sweep      parallel Monte-Carlo sim-vs-model sweep over n
     repro profile    phase-time breakdown over a method/order grid
@@ -124,8 +126,12 @@ def cmd_triangles(args) -> int:
     perm = _ORDERS[args.order]()
     oriented = orient(graph, perm, rng=rng)
     result = list_triangles(oriented, args.method, collect=False)
+    method = result.extra.get("auto_method", args.method)
     print(f"graph: n={graph.n} m={graph.m}")
-    print(f"method {args.method} under {args.order}: "
+    if "auto_method" in result.extra:
+        print(f"planner picked {method} (confidence "
+              f"{result.extra['auto_confidence']:.2f})")
+    print(f"method {method} under {args.order}: "
           f"{result.count} triangles, {result.ops} operations, "
           f"c_n = {result.per_node_cost:.3f}")
     return 0
@@ -178,6 +184,78 @@ def cmd_decide(args) -> int:
     print(f"  cost ratio w = {ratio}, speed ratio = "
           f"{decision.speed_ratio:.1f}")
     print(f"  winner: {decision.winner}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    """``repro plan``: the full ranked candidate table.
+
+    Backends: ``--graph`` prices every candidate exactly on the loaded
+    graph (incl. the degenerate ordering); ``--graph --sketch K``
+    plans from ``K`` sampled degrees; ``--alpha [--n]`` plans from a
+    Pareto law through Algorithm 2; ``--alpha --limit`` ranks the
+    ``n -> inf`` limits. ``--speed-ratio`` accepts a number,
+    ``paper``, or ``calibrated`` (measure this host once).
+    """
+    from repro.planner import (format_plan, plan_for_distribution,
+                               plan_for_graph, plan_for_sketch,
+                               plan_in_limit)
+
+    kwargs: dict = {"speed_ratio": args.speed_ratio}
+    if args.methods:
+        kwargs["methods"] = [m.strip().upper()
+                             for m in args.methods.split(",")
+                             if m.strip()]
+    if args.orders:
+        kwargs["orderings"] = tuple(
+            o.strip().lower() for o in args.orders.split(",")
+            if o.strip())
+    if args.graph:
+        if args.limit:
+            raise SystemExit("--limit needs --alpha, not --graph")
+        graph = load_edge_list(args.graph)
+        if args.sketch:
+            rng = np.random.default_rng(args.seed)
+            plan = plan_for_sketch(graph, args.sketch, rng, **kwargs)
+        else:
+            plan = plan_for_graph(graph, **kwargs)
+        source = args.graph
+    elif args.alpha is not None:
+        dist = _dist_from_args(args)
+        if args.limit:
+            plan = plan_in_limit(dist, **kwargs)
+            source = f"Pareto(alpha={args.alpha}) limit"
+        else:
+            plan = plan_for_distribution(dist, n=args.n, **kwargs)
+            source = f"Pareto(alpha={args.alpha}), n={args.n}"
+    else:
+        raise SystemExit("pass --graph PATH or --alpha A")
+    if args.json:
+        import json as _json
+        print(_json.dumps({
+            "source": plan.source, "n": plan.n,
+            "speed_ratio": plan.speed_ratio,
+            "confidence": plan.confidence, "winner": plan.winner,
+            "entries": plan.to_rows()}, indent=2))
+    else:
+        print(f"source: {source}")
+        print(format_plan(plan, top=args.top))
+    if args.record:
+        from repro.obs import records as obs_records
+        was_enabled = obs.is_enabled()
+        if not was_enabled:
+            obs.enable()
+        record = obs_records.collect(
+            "plan",
+            config={"source": plan.source, "input": source,
+                    "speed_ratio": plan.speed_ratio,
+                    "winner": plan.winner,
+                    "confidence": plan.confidence,
+                    "plan_rows": plan.to_rows()})
+        path = obs_records.write_record(record, args.record)
+        print(f"run record appended to {path}")
+        if not was_enabled:
+            obs.disable()
     return 0
 
 
@@ -719,7 +797,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser("triangles", help="orient and list triangles")
     p.add_argument("--graph", required=True, help="edge-list path")
     p.add_argument("--method", default="E1",
-                   help="T1-T6, E1-E6, or L1-L6")
+                   help="T1-T6, E1-E6, L1-L6, or 'auto' (cost-model "
+                        "planner picks the cheapest method for the "
+                        "chosen order)")
     p.add_argument("--order", choices=sorted(_ORDERS),
                    default="descending")
     p.add_argument("--seed", type=int, default=0)
@@ -750,10 +830,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="edge-list path (omit to decide in the limit)")
     p.add_argument("--alpha", type=float, default=1.7)
     p.add_argument("--beta", type=float, default=None)
-    p.add_argument("--speed-ratio", type=float, default=1801.0 / 19.0,
-                   help="SEI-to-hash per-op speed ratio (default: "
-                        "the paper's 94.8)")
+    p.add_argument("--speed-ratio", default=None,
+                   help="SEI-to-hash per-op speed ratio: a number, "
+                        "'paper' (94.8), or 'calibrated' (measure "
+                        "this host); default: REPRO_SPEED_RATIO or "
+                        "the paper's 94.8")
     p.set_defaults(func=cmd_decide)
+
+    p = add_parser("plan",
+                   help="rank every (method, ordering) candidate by "
+                        "modeled cost")
+    p.add_argument("--graph", default=None,
+                   help="edge-list path (exact backend; omit for a "
+                        "Pareto law)")
+    p.add_argument("--sketch", type=int, default=None, metavar="K",
+                   help="with --graph: plan from K sampled degrees "
+                        "instead of the exact costs")
+    p.add_argument("--alpha", type=float, default=None,
+                   help="Pareto tail index (model backend)")
+    p.add_argument("--beta", type=float, default=None,
+                   help="Pareto scale (default: 30 (alpha - 1))")
+    p.add_argument("--n", type=int, default=None,
+                   help="with --alpha: graph size (root truncation)")
+    p.add_argument("--limit", action="store_true",
+                   help="with --alpha: rank the n -> inf limit costs")
+    p.add_argument("--speed-ratio", default=None,
+                   help="a number, 'paper', or 'calibrated' (default: "
+                        "REPRO_SPEED_RATIO or the paper's 94.8)")
+    p.add_argument("--methods", default=None,
+                   help="comma-separated subset (default: all 18; "
+                        "--limit defaults to T1,T2,E1,E4)")
+    p.add_argument("--orders", default=None,
+                   help="comma-separated subset of "
+                        "ascending,descending,rr,crr,opt,degenerate "
+                        "(degenerate needs --graph without --sketch)")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows to print (default 10)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="rng seed for --sketch sampling")
+    p.add_argument("--json", action="store_true",
+                   help="also print the full plan as JSON")
+    p.add_argument("--record", default=None, metavar="PATH",
+                   help="append a run record with the plan table to "
+                        "this JSONL file")
+    p.set_defaults(func=cmd_plan)
 
     p = add_parser("regimes", help="finiteness regimes over alpha")
     p.add_argument("alphas", nargs="+",

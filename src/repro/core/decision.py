@@ -17,6 +17,7 @@ diverges while T1's stays finite (section 6.3).
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 
 from repro.core.costs import per_node_cost
@@ -25,6 +26,49 @@ from repro.distributions.base import DegreeDistribution
 
 #: Table 3's measured speed ratio on the authors' hardware.
 PAPER_SPEED_RATIO = 1801.0 / 19.0
+
+#: Environment knob overriding the default speed ratio per host.
+SPEED_RATIO_ENV = "REPRO_SPEED_RATIO"
+
+
+def resolve_speed_ratio(speed_ratio: float | str | None = None) -> float:
+    """Resolve a ``speed_ratio`` argument to a positive float.
+
+    The paper's 94.8x is a property of the *authors'* hardware; on a
+    different host (or a pure-Python runtime with no SIMD scanning
+    advantage at all) the ratio differs, which shifts the section 2.4
+    decision boundary. Resolution order:
+
+    * a number -- used as-is;
+    * ``"paper"`` -- :data:`PAPER_SPEED_RATIO`;
+    * ``"calibrated"`` -- measured once per process on this host via
+      :func:`repro.engine.benchmark.calibrated_speed_ratio`;
+    * ``None`` (the default everywhere) -- the ``REPRO_SPEED_RATIO``
+      environment variable when set, else :data:`PAPER_SPEED_RATIO`.
+    """
+    if speed_ratio is None:
+        raw = os.environ.get(SPEED_RATIO_ENV, "").strip()
+        if not raw:
+            return PAPER_SPEED_RATIO
+        speed_ratio = raw
+    if isinstance(speed_ratio, str):
+        name = speed_ratio.strip().lower()
+        if name == "paper":
+            return PAPER_SPEED_RATIO
+        if name in ("calibrated", "auto"):
+            from repro.engine.benchmark import calibrated_speed_ratio
+            return calibrated_speed_ratio()
+        try:
+            speed_ratio = float(name)
+        except ValueError:
+            raise ValueError(
+                f"speed_ratio must be a positive number, 'paper', or "
+                f"'calibrated'; got {speed_ratio!r}") from None
+    value = float(speed_ratio)
+    if not math.isfinite(value) or value <= 0.0:
+        raise ValueError(
+            f"speed_ratio must be positive and finite, got {value}")
+    return value
 
 
 @dataclass(frozen=True)
@@ -65,9 +109,15 @@ def cost_ratio_w(oriented) -> float:
 
 
 def decide_on_graph(oriented,
-                    speed_ratio: float = PAPER_SPEED_RATIO
+                    speed_ratio: float | str | None = None
                     ) -> MethodDecision:
-    """Apply the decision rule to a concrete oriented graph."""
+    """Apply the decision rule to a concrete oriented graph.
+
+    ``speed_ratio`` accepts anything :func:`resolve_speed_ratio` does;
+    by default the paper's 94.8 (or the ``REPRO_SPEED_RATIO``
+    override), while ``"calibrated"`` measures this host once.
+    """
+    speed_ratio = resolve_speed_ratio(speed_ratio)
     hash_costs = {m: per_node_cost(m, oriented.out_degrees,
                                    oriented.in_degrees)
                   for m in ("T1", "T2", "T3")}
@@ -85,7 +135,7 @@ def decide_on_graph(oriented,
 
 
 def decide_in_limit(base_dist: DegreeDistribution,
-                    speed_ratio: float = PAPER_SPEED_RATIO,
+                    speed_ratio: float | str | None = None,
                     **limit_kwargs) -> MethodDecision:
     """Apply the rule at ``n -> inf`` under optimal orientations.
 
@@ -94,6 +144,7 @@ def decide_in_limit(base_dist: DegreeDistribution,
     finite -- Pareto ``alpha in (4/3, 1.5]`` -- the ratio is infinite
     and T1 wins "no matter how these algorithms are implemented".
     """
+    speed_ratio = resolve_speed_ratio(speed_ratio)
     limit_kwargs.setdefault("eps", 1e-4)
     t1 = limit_cost(base_dist, "T1", "descending", **limit_kwargs)
     e1 = limit_cost(base_dist, "E1", "descending", **limit_kwargs)

@@ -18,6 +18,7 @@ come back as a rendered table and a JSON-ready dict whose
 from __future__ import annotations
 
 import time
+from functools import lru_cache
 
 from repro.engine import native
 from repro.engine.kernels import run_numpy
@@ -38,6 +39,70 @@ def _timed(fn, repeats: int = 1):
         result = fn()
         best = min(best, time.perf_counter() - start)
     return result, best
+
+
+def measure_speed_ratio(oriented=None, *, n: int = 4000, seed: int = 0,
+                        hash_method: str = "T1", sei_method: str = "E1",
+                        engine: str = "numpy", repeats: int = 3) -> float:
+    """Measure the section-2.4 ``speed_ratio`` on *this* host.
+
+    Table 3's 94.8x is the per-operation advantage of sequential
+    scanning (SEI) over hash-based lookups on the authors' SIMD
+    hardware. This micro-calibration measures the same quantity for the
+    selected engine of this library: per-op wall time of the best
+    hash-family method divided by per-op wall time of the best SEI
+    method, each timed best-of-``repeats`` on one oriented graph.
+
+    ``oriented`` defaults to a synthetic heavy-tailed graph
+    (``Pareto(1.7)``, descending orientation) so callers can calibrate
+    without supplying one. The result feeds
+    :func:`repro.core.decision.resolve_speed_ratio` (and through it the
+    planner) via ``speed_ratio="calibrated"``.
+
+    Note the honest outcome on interpreted runtimes: the pure-Python
+    reference engine has no SIMD scanning advantage, so it measures a
+    ratio near 1 -- flipping the decision rule toward hash methods on
+    graphs where the paper's hardware favored SEI.
+    """
+    if oriented is None:
+        import numpy as np
+
+        from repro.distributions.pareto import DiscretePareto
+        from repro.distributions.sampling import sample_degree_sequence
+        from repro.distributions.truncation import root_truncation
+        from repro.graphs.generators import generate_graph
+        from repro.orientations.permutations import DescendingDegree
+        from repro.orientations.relabel import orient
+
+        rng = np.random.default_rng(seed)
+        dist = DiscretePareto(1.7, 21.0).truncate(root_truncation(n))
+        degrees = sample_degree_sequence(dist, n, rng)
+        oriented = orient(generate_graph(degrees, rng),
+                          DescendingDegree())
+    if engine == "python":
+        oriented.edge_key_set()  # warm the membership set
+    per_op = {}
+    for method in (hash_method, sei_method):
+        # one warm-up pass per method (cache builds, allocator churn)
+        list_triangles(oriented, method, collect=False, engine=engine)
+        result, elapsed = _timed(
+            lambda m=method: list_triangles(oriented, m, collect=False,
+                                            engine=engine),
+            repeats)
+        per_op[method] = elapsed / max(result.ops, 1)
+    ratio = per_op[hash_method] / max(per_op[sei_method], 1e-12)
+    return max(ratio, 1e-6)
+
+
+@lru_cache(maxsize=8)
+def calibrated_speed_ratio(engine: str = "numpy", n: int = 4000,
+                           seed: int = 0) -> float:
+    """Per-process cached :func:`measure_speed_ratio` on the default
+    synthetic graph -- the ``speed_ratio="calibrated"`` backend."""
+    from repro.obs import metrics as _metrics
+
+    _metrics.inc("planner.calibrations")
+    return measure_speed_ratio(n=n, seed=seed, engine=engine)
 
 
 def native_compare(oriented, methods=DEFAULT_METHODS,

@@ -59,10 +59,16 @@ def list_triangles(oriented, method: str = "E1", collect: bool = True,
                    engine: str = "auto") -> ListingResult:
     """List all triangles of the oriented graph with the named method.
 
-    ``method`` is one of ``T1``-``T6``, ``E1``-``E6``, or ``L1``-``L6``.
-    Every method enumerates each triangle exactly once (as labels
-    ``x < y < z``); they differ only in traversal order and cost. See
-    :class:`~repro.listing.base.ListingResult` for the returned counters.
+    ``method`` is one of ``T1``-``T6``, ``E1``-``E6``, ``L1``-``L6``,
+    or ``"auto"``, which asks the cost-model planner
+    (:func:`repro.planner.choose_method`) for the cheapest method on
+    this orientation -- exact per-method costs weighted by the section
+    2.4 speed ratio -- and runs its argmin (recorded in
+    ``result.extra["auto_method"]`` alongside the planner's
+    confidence). Every method enumerates each triangle exactly once
+    (as labels ``x < y < z``); they differ only in traversal order and
+    cost. See :class:`~repro.listing.base.ListingResult` for the
+    returned counters.
 
     ``engine`` selects the implementation: ``"python"`` (instrumented
     reference), ``"numpy"`` (vectorized, native-accelerated when
@@ -85,6 +91,12 @@ def list_triangles(oriented, method: str = "E1", collect: bool = True,
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from "
                          f"{ENGINES}")
+    auto_plan = None
+    if method == "AUTO":
+        from repro.planner import choose_method
+        auto_plan = choose_method(oriented)
+        method = auto_plan.best.method
+        _metrics.inc("planner.auto_routes")
     use_native = None
     if engine == "auto":
         if collect:
@@ -96,6 +108,9 @@ def list_triangles(oriented, method: str = "E1", collect: bool = True,
         engine = "numpy"
         use_native = True
     with span("list", method=method, n=oriented.n, engine=engine) as sp:
+        if auto_plan is not None:
+            sp.annotate(auto=True,
+                        plan_confidence=round(auto_plan.confidence, 4))
         if engine == "numpy":
             from repro.engine import run_numpy
             if method not in ALL_METHODS:
@@ -106,6 +121,9 @@ def list_triangles(oriented, method: str = "E1", collect: bool = True,
         else:
             result = _run_python(oriented, method, collect)
         sp.annotate(ops=result.ops, triangles=result.count)
+    if auto_plan is not None:
+        result.extra["auto_method"] = method
+        result.extra["auto_confidence"] = auto_plan.confidence
     publish_result_metrics(result)
     # publish the resolved engine as a labelled counter (and not just a
     # span attribute) so run-history reports can segment cost by engine

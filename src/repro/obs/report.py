@@ -89,6 +89,10 @@ def metric_kind(name: str) -> str:
         return "time"
     if name == "error" or name.endswith((".error", "_error")):
         return "error"
+    if name == "regret" or name.endswith((".regret", "_regret")):
+        # planner-vs-oracle regret: like model error, compared by
+        # absolute magnitude -- drifting toward 0 is an improvement
+        return "error"
     return "value"
 
 
@@ -119,6 +123,18 @@ def record_cells(record) -> dict[str, dict[str, float]]:
         key = f"cell:{row.get('label', '?')}/n={int(row['n'])}"
         cells[key] = _numeric({k: row.get(k)
                                for k in ("sim", "model", "error")})
+    for row in record.config.get("regret_rows") or ():
+        if not isinstance(row, dict) or "label" not in row:
+            continue
+        # planner-vs-oracle rows (repro.planner.regret): the oracle
+        # time and pick-agreement are deterministic values, the regret
+        # compares like a model error. Infinite regret (the oracle
+        # found a zero-cost candidate) is dropped by _numeric, which
+        # is right: only the finite cells can regress meaningfully.
+        cells[f"case:{row['label']}"] = _numeric(
+            {k: row.get(k)
+             for k in ("planner_time", "oracle_time", "regret",
+                       "agree")})
     methods = record.config.get("methods")
     if isinstance(methods, dict):
         for name, vals in methods.items():

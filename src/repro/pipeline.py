@@ -81,9 +81,12 @@ def run_pipeline(graph, method: str = "E1", order: str | None = None,
 
     ``order`` is one of ``ascending``/``descending``/``rr``/``crr``/
     ``uniform``/``degenerate``; omitted, the method's optimal ordering
-    (Corollaries 1-2) is chosen automatically. The report carries the
-    measured per-node cost and the section 2.4 hardware decision for
-    the oriented graph.
+    (Corollaries 1-2) is chosen automatically. ``method="auto"`` asks
+    the cost-model planner (:func:`repro.planner.plan_for_graph`) for
+    the cheapest (method, ordering) pair on this graph and runs it
+    (``order``, when also given, constrains the planner's candidates
+    to that ordering). The report carries the measured per-node cost
+    and the section 2.4 hardware decision for the oriented graph.
 
     Example::
 
@@ -91,12 +94,23 @@ def run_pipeline(graph, method: str = "E1", order: str | None = None,
         print(report.count, report.order, report.per_node_cost)
     """
     method = method.upper()
+    if method == "AUTO":
+        from repro.planner import GRAPH_ORDERINGS, plan_for_graph
+        orderings = (order,) if order else GRAPH_ORDERINGS
+        plan = plan_for_graph(graph, orderings=orderings)
+        method = plan.best.method
+        order = plan.best.ordering
     if order is None:
         order = optimal_order_for(method)
-    permutation = _ORDERS.get(order)
+    if order == "opt":
+        from repro.planner import Candidate
+        permutation = Candidate(method, "opt").permutation()
+    else:
+        permutation = _ORDERS.get(order)
     if permutation is None:
         raise ValueError(
-            f"unknown order {order!r}; choose from {sorted(_ORDERS)}")
+            f"unknown order {order!r}; choose from "
+            f"{sorted([*_ORDERS, 'opt'])}")
     if permutation.is_random and rng is None:
         rng = np.random.default_rng()
     oriented = orient(graph, permutation, rng=rng)

@@ -1,5 +1,7 @@
 """Cross-cutting property-based tests of the model stack."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -106,3 +108,75 @@ class TestSpreadProperties:
         dist = ZipfDegree(s).truncate(t)
         value = discrete_cost_model(dist, "T1", "descending")
         assert value >= 0.0
+
+
+degree_sequences = st.lists(st.integers(min_value=1, max_value=60),
+                            min_size=4, max_size=80)
+
+
+class TestPlannerProperties:
+    @given(alphas, betas, truncations)
+    @settings(max_examples=30, deadline=None)
+    def test_predicted_costs_positive_and_finite(self, alpha, beta, t):
+        """Every candidate of a truncated law prices to a finite,
+        non-negative cost -- no admissible alpha can break the plan."""
+        from repro.planner import plan_for_distribution
+        dist = DiscretePareto(alpha, beta).truncate(t)
+        plan = plan_for_distribution(dist)
+        assert len(plan.entries) == 18 * 5
+        for entry in plan.entries:
+            assert math.isfinite(entry.predicted_cost)
+            assert entry.predicted_cost >= 0.0
+            assert entry.predicted_time <= entry.predicted_cost + 1e-12
+
+    @given(degree_sequences, st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_ranking_invariant_under_degree_permutation(self, degrees,
+                                                        random):
+        """Only the degree histogram enters the model, so shuffling
+        the sequence cannot change the plan."""
+        from repro.planner import plan_for_degrees
+        shuffled = list(degrees)
+        random.shuffle(shuffled)
+        base = plan_for_degrees(degrees)
+        other = plan_for_degrees(shuffled)
+        assert [e.key for e in base.entries] == \
+            [e.key for e in other.entries]
+        assert [e.predicted_time for e in base.entries] == \
+            [e.predicted_time for e in other.entries]
+
+    @given(degree_sequences, st.permutations(
+        ["T1", "T2", "T3", "E1", "E4", "L1", "L3"]))
+    @settings(max_examples=30, deadline=None)
+    def test_argmin_stable_under_candidate_reordering(self, degrees,
+                                                      methods):
+        """The ranking is a function of the candidate *set*: feeding
+        the methods in any order yields the identical plan."""
+        from repro.planner import plan_for_degrees
+        base = plan_for_degrees(degrees,
+                                methods=("T1", "T2", "T3", "E1",
+                                         "E4", "L1", "L3"))
+        other = plan_for_degrees(degrees, methods=tuple(methods))
+        assert [e.key for e in base.entries] == \
+            [e.key for e in other.entries]
+
+    @given(alphas, betas, st.integers(min_value=30, max_value=120))
+    @settings(max_examples=15, deadline=None)
+    def test_sketch_converges_to_exact_degree_plan(self, alpha, beta,
+                                                   n):
+        """Sampling without replacement: a sketch of size >= n IS the
+        full degree sequence, so the plans coincide exactly."""
+        from repro.distributions import root_truncation
+        from repro.distributions.sampling import sample_degree_sequence
+        from repro.graphs.generators import generate_graph
+        from repro.planner import plan_for_degrees, plan_for_sketch
+        rng = np.random.default_rng(n)
+        dist = DiscretePareto(alpha, beta).truncate(root_truncation(n))
+        graph = generate_graph(sample_degree_sequence(dist, n, rng),
+                               rng)
+        full = plan_for_degrees(graph.degrees, n=graph.n)
+        sketch = plan_for_sketch(graph, 2 * n, rng)
+        assert [e.key for e in full.entries] == \
+            [e.key for e in sketch.entries]
+        assert [e.predicted_time for e in full.entries] == \
+            [e.predicted_time for e in sketch.entries]
