@@ -15,6 +15,8 @@ Subcommands::
     repro bench      engine micro-benchmarks (--native-compare)
     repro report     run-history analytics & the perf-regression gate
                      (trends | baseline | compare | divergence | html)
+    repro audit      planner model-conformance audit over audit.jsonl
+                     (summary | misplans | validate | calibration)
     repro export     recorded runs -> Chrome trace JSON / flame stacks
                      (trace | flame)
     repro top        live terminal view of a telemetry event stream
@@ -574,10 +576,19 @@ def cmd_report(args) -> int:
             baseline = obs_baselines.load_baseline(args.baseline)
             deltas = obs_baselines.compare(records, baseline)
             baseline_meta = baseline.meta
+        audit_records = None
+        if args.audit:
+            from repro.obs import audit as obs_audit
+            audit_records = obs_audit.load_audit(args.audit)
+            if not audit_records:
+                print(f"note: no audit records in "
+                      f"{obs_audit.audit_path(args.audit)}; the audit "
+                      f"panel is omitted", file=sys.stderr)
         from repro.obs import dashboard as obs_dashboard
         path = obs_dashboard.write_dashboard(
             records, args.out, deltas=deltas,
-            baseline_meta=baseline_meta, title=args.title)
+            baseline_meta=baseline_meta, title=args.title,
+            audit_records=audit_records)
         print(f"dashboard over {len(records)} record(s) written to "
               f"{path}")
         return 0
@@ -606,6 +617,137 @@ def cmd_report(args) -> int:
         if not args.json:
             print("WARNING: regressions detected (pass "
                   "--fail-on-regress to gate on them)")
+    return 0
+
+
+def _audit_records(args):
+    """Load the audit log for ``repro audit``; cold history exits
+    non-zero with a clear message (no traceback), like the run-history
+    consumers."""
+    from repro.obs import audit as obs_audit
+    sink = obs_audit.audit_path(args.file)
+    records = obs_audit.load_audit(args.file)
+    if not records:
+        raise SystemExit(
+            f"no audit records in {sink}; run auto-routed calls "
+            f"(method='auto') with REPRO_AUDIT=1 first, or point "
+            f"--file/REPRO_AUDIT_FILE at an existing audit log")
+    return records
+
+
+def cmd_audit(args) -> int:
+    """``repro audit``: the model-conformance audit read surface.
+
+    ``summary`` aggregates the audit log into headline regret /
+    prediction-ratio numbers plus the per-(method, ordering,
+    graph-class) conformance table (``--fail-over R`` exits non-zero
+    when the median realized regret exceeds ``R`` -- the CI gate);
+    ``misplans`` lists every diagnosed bad pick; ``validate``
+    schema-checks the log; ``calibration`` inspects (and with
+    ``--measure --record`` feeds) the rolling speed-ratio store behind
+    ``speed_ratio="calibrated"``.
+    """
+    import json
+
+    from repro.obs import audit as obs_audit
+
+    if args.audit_command == "calibration":
+        from repro.engine import benchmark as bench
+        path = bench.calibration_path(args.store)
+        host = bench.host_fingerprint()
+        if args.measure:
+            ratio = bench.measure_speed_ratio(engine=args.engine)
+            print(f"measured speed ratio: {ratio:.4g}x "
+                  f"(engine={args.engine}, host={host})")
+            if args.record:
+                bench.store_calibration(ratio, engine=args.engine,
+                                        path=args.store)
+                print(f"recorded to {path}")
+        store = bench.load_calibration_store(args.store)
+        entries = store["entries"]
+        if not entries:
+            raise SystemExit(
+                f"no calibration entries in {path}; measure one with "
+                f"`repro audit calibration --measure --record`, or "
+                f"run with REPRO_CALIBRATION_WRITE=1 and "
+                f"speed_ratio='calibrated'")
+        stored = bench.stored_speed_ratio(args.engine, args.store)
+        if args.json:
+            print(json.dumps({"path": str(path), "host": host,
+                              "engine": args.engine,
+                              "stored_ratio": stored,
+                              "entries": entries}, indent=2))
+            return 0
+        print(f"calibration store {path} ({len(entries)} entries, "
+              f"host {host})")
+        lines = [f"{'engine':>8} {'ratio':>9} {'age':>10} {'host':>24}"]
+        now = time.time()
+        for entry in entries:
+            age_s = now - float(entry.get("ts", 0.0))
+            age = (f"{age_s / 86400:.1f}d" if age_s >= 86400
+                   else f"{age_s:.0f}s")
+            mark = "" if entry.get("host") == host else "  (other host)"
+            lines.append(f"{str(entry.get('engine')):>8} "
+                         f"{entry.get('ratio', 0.0):>8.3g}x {age:>10} "
+                         f"{str(entry.get('host')):>24}{mark}")
+        print("\n".join(lines))
+        if stored is not None:
+            print(f"current answer for engine={args.engine}: "
+                  f"{stored:.4g}x (median of fresh host-matching "
+                  f"entries)")
+        else:
+            print(f"no fresh host-matching entries for "
+                  f"engine={args.engine}: speed_ratio='calibrated' "
+                  f"will fall back to a fresh measurement")
+        return 0
+
+    if args.audit_command == "validate":
+        sink = obs_audit.audit_path(args.file)
+        try:
+            count, errors = obs_audit.validate_audit_file(args.file)
+        except OSError as exc:
+            raise SystemExit(f"cannot read {sink}: {exc}")
+        if errors:
+            print(f"{len(errors)} schema error(s) in {sink}:",
+                  file=sys.stderr)
+            for error in errors[:20]:
+                print(f"  {error}", file=sys.stderr)
+            return 1
+        print(f"{count} audit record(s) OK in {sink}")
+        return 0
+
+    records = _audit_records(args)
+    if args.audit_command == "misplans":
+        threshold = (args.threshold if args.threshold is not None
+                     else obs_audit.MISPLAN_REGRET)
+        rows = obs_audit.misplan_rows(records, threshold=threshold)
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(obs_audit.format_misplans(rows))
+        return 0
+
+    # summary
+    summary = obs_audit.audit_summary(records)
+    conformance = obs_audit.conformance_rows(records)
+    if args.json:
+        print(json.dumps({"summary": summary,
+                          "conformance": conformance,
+                          "misplans": obs_audit.misplan_rows(records)},
+                         indent=2))
+    else:
+        print(obs_audit.format_summary(records))
+    if args.fail_over is not None:
+        median_regret = summary.get("median_regret")
+        if median_regret is not None and (
+                math.isinf(median_regret)
+                or median_regret > args.fail_over):
+            shown = ("inf" if math.isinf(median_regret)
+                     else f"{100 * median_regret:.1f}%")
+            print(f"FAIL: median realized regret {shown} exceeds "
+                  f"--fail-over {100 * args.fail_over:.1f}%",
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -1012,10 +1154,68 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--baseline", default=None, metavar="FILE",
                     help="also compare against this baseline and show "
                          "the verdicts")
+    rp.add_argument("--audit", default=None, metavar="PATH",
+                    help="also render the planner-audit panel from "
+                         "this audit.jsonl (see `repro audit`)")
     rp.add_argument("--title", default="repro run history",
                     help="page title")
     rp.add_argument("--git-rev", default=None,
                     help="restrict to records of one git revision")
+
+    p = add_parser("audit",
+                   help="planner model-conformance audit "
+                        "(predicted vs actual)")
+    asub = p.add_subparsers(dest="audit_command", required=True)
+
+    def add_audit_parser(name, **kwargs):
+        ap = asub.add_parser(name, **kwargs)
+        ap.add_argument("--file", default=None, metavar="PATH",
+                        help="audit.jsonl to read (default: "
+                             "REPRO_AUDIT_FILE or "
+                             "benchmarks/results/audit.jsonl)")
+        ap.set_defaults(func=cmd_audit)
+        return ap
+
+    ap = add_audit_parser(
+        "summary",
+        help="headline regret/calibration numbers + conformance table")
+    ap.add_argument("--json", action="store_true",
+                    help="print summary, conformance rows, and "
+                         "misplans as JSON")
+    ap.add_argument("--fail-over", type=float, default=None,
+                    metavar="REGRET",
+                    help="exit non-zero if the median realized regret "
+                         "exceeds this fraction (the CI gate)")
+
+    ap = add_audit_parser(
+        "misplans", help="diagnosed bad picks, worst regret first")
+    ap.add_argument("--threshold", type=float, default=None,
+                    metavar="REGRET",
+                    help="realized-regret threshold (default: the "
+                         "committed 10%% misplan threshold)")
+    ap.add_argument("--json", action="store_true",
+                    help="print the misplan rows as JSON")
+
+    ap = add_audit_parser(
+        "validate",
+        help="schema-check the audit log; exit non-zero on errors")
+
+    ap = add_audit_parser(
+        "calibration",
+        help="inspect/feed the rolling speed-ratio store")
+    ap.add_argument("--store", default=None, metavar="PATH",
+                    help="store file (default: REPRO_CALIBRATION_FILE "
+                         "or benchmarks/baselines/speed_ratio.json)")
+    ap.add_argument("--engine", default="numpy",
+                    help="engine whose ratio to resolve "
+                         "(default numpy)")
+    ap.add_argument("--measure", action="store_true",
+                    help="measure a fresh ratio on this host first")
+    ap.add_argument("--record", action="store_true",
+                    help="with --measure: append the measurement to "
+                         "the store")
+    ap.add_argument("--json", action="store_true",
+                    help="print the store and resolved ratio as JSON")
 
     p = add_parser("export",
                    help="recorded runs -> Chrome trace JSON / flame "

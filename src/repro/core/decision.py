@@ -41,8 +41,11 @@ def resolve_speed_ratio(speed_ratio: float | str | None = None) -> float:
 
     * a number -- used as-is;
     * ``"paper"`` -- :data:`PAPER_SPEED_RATIO`;
-    * ``"calibrated"`` -- measured once per process on this host via
-      :func:`repro.engine.benchmark.calibrated_speed_ratio`;
+    * ``"calibrated"`` -- this host's ratio via
+      :func:`repro.engine.benchmark.calibrated_speed_ratio`: the
+      rolling calibration store's fresh host-matching history when it
+      has one, else measured once per process (and persisted back when
+      ``REPRO_CALIBRATION_WRITE`` is set);
     * ``None`` (the default everywhere) -- the ``REPRO_SPEED_RATIO``
       environment variable when set, else :data:`PAPER_SPEED_RATIO`.
     """

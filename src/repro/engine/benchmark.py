@@ -17,6 +17,9 @@ come back as a rendered table and a JSON-ready dict whose
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
 import time
 from functools import lru_cache
 
@@ -27,6 +30,22 @@ from repro.listing.api import list_triangles
 #: Default comparison set: the paper's four fundamental methods plus
 #: one lookup iterator per probe direction.
 DEFAULT_METHODS = ("T1", "T2", "E1", "E4", "L1", "L3")
+
+#: Environment override for the rolling calibration store path.
+CALIBRATION_FILE_ENV = "REPRO_CALIBRATION_FILE"
+
+#: Default store, versioned alongside the perf baselines.
+DEFAULT_CALIBRATION_PATH = (pathlib.Path("benchmarks") / "baselines"
+                            / "speed_ratio.json")
+
+#: Stored measurements older than this are stale (override via
+#: ``REPRO_CALIBRATION_MAX_AGE_S``).
+DEFAULT_CALIBRATION_MAX_AGE_S = 30 * 24 * 3600.0
+
+#: Rolling-window cap per engine; oldest entries are trimmed.
+MAX_STORE_ENTRIES = 32
+
+_TRUTHY = {"1", "true", "yes", "on"}
 
 
 def _timed(fn, repeats: int = 1):
@@ -94,15 +113,154 @@ def measure_speed_ratio(oriented=None, *, n: int = 4000, seed: int = 0,
     return max(ratio, 1e-6)
 
 
+def calibration_path(path=None) -> pathlib.Path:
+    """Resolve the store: explicit arg > env > versioned default."""
+    if path is not None:
+        return pathlib.Path(path)
+    env = os.environ.get(CALIBRATION_FILE_ENV, "").strip()
+    return pathlib.Path(env) if env else DEFAULT_CALIBRATION_PATH
+
+
+def host_fingerprint() -> str:
+    """Coarse host identity guarding stored ratios against reuse on a
+    different machine class (a ratio measured on an AVX-512 box must
+    not price picks on an ARM runner)."""
+    import platform
+    return (f"{os.cpu_count()}-{platform.machine()}-"
+            f"py{'.'.join(platform.python_version_tuple()[:2])}")
+
+
+def load_calibration_store(path=None) -> dict:
+    """Parse the store; missing or corrupt files degrade to empty.
+
+    Shape: ``{"version": 1, "entries": [{engine, ratio, ts, host,
+    host_meta, n, seed}, ...]}`` -- newest entries last.
+    """
+    store_path = calibration_path(path)
+    empty = {"version": 1, "entries": []}
+    if not store_path.exists():
+        return empty
+    try:
+        data = json.loads(store_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return empty
+    if not isinstance(data, dict) or \
+            not isinstance(data.get("entries"), list):
+        return empty
+    data.setdefault("version", 1)
+    return data
+
+
+def store_calibration(ratio: float, engine: str = "numpy", path=None,
+                      *, n: int = 4000, seed: int = 0,
+                      now: float | None = None) -> pathlib.Path:
+    """Append one measured ratio to the rolling store (atomic write).
+
+    Keeps the newest :data:`MAX_STORE_ENTRIES` per engine, stamps the
+    host fingerprint + full host metadata, and replaces the file via a
+    same-directory temp rename so a concurrent reader never sees a
+    torn store.
+    """
+    from repro.obs.records import host_meta
+    store_path = calibration_path(path)
+    store = load_calibration_store(store_path)
+    store["entries"].append({
+        "engine": str(engine),
+        "ratio": float(ratio),
+        "ts": float(now if now is not None else time.time()),
+        "host": host_fingerprint(),
+        "host_meta": host_meta(),
+        "n": int(n),
+        "seed": int(seed),
+    })
+    # rolling window: newest MAX_STORE_ENTRIES per engine survive
+    by_engine: dict[str, list] = {}
+    for entry in store["entries"]:
+        by_engine.setdefault(str(entry.get("engine")), []).append(entry)
+    kept = []
+    for entries in by_engine.values():
+        entries.sort(key=lambda e: e.get("ts", 0.0))
+        kept.extend(entries[-MAX_STORE_ENTRIES:])
+    kept.sort(key=lambda e: e.get("ts", 0.0))
+    store["entries"] = kept
+    store_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = store_path.with_suffix(store_path.suffix + ".tmp")
+    tmp.write_text(json.dumps(store, indent=2) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, store_path)
+    return store_path
+
+
+def stored_speed_ratio(engine: str = "numpy", path=None,
+                       max_age_s: float | None = None,
+                       now: float | None = None) -> float | None:
+    """The store's answer for this host, or ``None``.
+
+    Median of the fresh, host-matching entries for ``engine`` --
+    median because the rolling window absorbs one noisy CI
+    measurement without jerking every subsequent plan. Entries from
+    other hosts are ignored outright; when matching entries exist but
+    all exceed ``max_age_s`` (default
+    :data:`DEFAULT_CALIBRATION_MAX_AGE_S`, override via
+    ``REPRO_CALIBRATION_MAX_AGE_S``), the store reports stale: a
+    ``planner.calibration_stale`` counter ticks and ``None`` is
+    returned so the caller falls back to a fresh measurement.
+    """
+    if max_age_s is None:
+        env = os.environ.get("REPRO_CALIBRATION_MAX_AGE_S", "").strip()
+        try:
+            max_age_s = float(env) if env else \
+                DEFAULT_CALIBRATION_MAX_AGE_S
+        except ValueError:
+            max_age_s = DEFAULT_CALIBRATION_MAX_AGE_S
+    if now is None:
+        now = time.time()
+    host = host_fingerprint()
+    matching = [e for e in load_calibration_store(path)["entries"]
+                if e.get("engine") == engine and e.get("host") == host
+                and isinstance(e.get("ratio"), (int, float))
+                and e["ratio"] > 0]
+    if not matching:
+        return None
+    fresh = [e for e in matching
+             if now - float(e.get("ts", 0.0)) <= max_age_s]
+    if not fresh:
+        from repro.obs import metrics as _metrics
+        _metrics.inc("planner.calibration_stale")
+        return None
+    ratios = sorted(float(e["ratio"]) for e in fresh)
+    mid = len(ratios) // 2
+    if len(ratios) % 2:
+        return ratios[mid]
+    return 0.5 * (ratios[mid - 1] + ratios[mid])
+
+
 @lru_cache(maxsize=8)
 def calibrated_speed_ratio(engine: str = "numpy", n: int = 4000,
                            seed: int = 0) -> float:
-    """Per-process cached :func:`measure_speed_ratio` on the default
-    synthetic graph -- the ``speed_ratio="calibrated"`` backend."""
+    """The ``speed_ratio="calibrated"`` backend, store-first.
+
+    Consults the rolling calibration store before burning wall time on
+    a fresh micro-benchmark: a fresh host-matching measurement history
+    answers immediately (``planner.calibrations_from_store``); a cold
+    or stale store falls through to :func:`measure_speed_ratio` on the
+    default synthetic graph (``planner.calibrations``), and the new
+    measurement is persisted back when ``REPRO_CALIBRATION_WRITE`` is
+    truthy -- the audit layer's feedback loop. Per-process cached
+    either way.
+    """
     from repro.obs import metrics as _metrics
 
+    stored = stored_speed_ratio(engine)
+    if stored is not None:
+        _metrics.inc("planner.calibrations_from_store")
+        return stored
     _metrics.inc("planner.calibrations")
-    return measure_speed_ratio(n=n, seed=seed, engine=engine)
+    ratio = measure_speed_ratio(n=n, seed=seed, engine=engine)
+    if os.environ.get("REPRO_CALIBRATION_WRITE",
+                      "").strip().lower() in _TRUTHY:
+        store_calibration(ratio, engine=engine, n=n, seed=seed)
+    return ratio
 
 
 def native_compare(oriented, methods=DEFAULT_METHODS,

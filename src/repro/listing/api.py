@@ -23,6 +23,8 @@ documented semantics.
 
 from __future__ import annotations
 
+import time
+
 from repro.listing.base import ListingResult, publish_result_metrics
 from repro.listing.vertex_iterator import run_vertex_iterator, VERTEX_ITERATORS
 from repro.listing.edge_iterator import (
@@ -97,6 +99,13 @@ def list_triangles(oriented, method: str = "E1", collect: bool = True,
         auto_plan = choose_method(oriented)
         method = auto_plan.best.method
         _metrics.inc("planner.auto_routes")
+        _metrics.inc(f"planner.auto.{method}")
+        _metrics.set_gauge("planner.auto_confidence",
+                           auto_plan.confidence)
+    # Audit only wraps auto-routed calls, and only when REPRO_AUDIT is
+    # on; the disabled path is the one is_enabled() check.
+    from repro.obs import audit as _audit
+    audit_on = auto_plan is not None and _audit.is_enabled()
     use_native = None
     if engine == "auto":
         if collect:
@@ -107,6 +116,7 @@ def list_triangles(oriented, method: str = "E1", collect: bool = True,
     elif engine == "native":
         engine = "numpy"
         use_native = True
+    wall_start = time.perf_counter() if audit_on else 0.0
     with span("list", method=method, n=oriented.n, engine=engine) as sp:
         if auto_plan is not None:
             sp.annotate(auto=True,
@@ -124,6 +134,13 @@ def list_triangles(oriented, method: str = "E1", collect: bool = True,
     if auto_plan is not None:
         result.extra["auto_method"] = method
         result.extra["auto_confidence"] = auto_plan.confidence
+        if audit_on:
+            wall = time.perf_counter() - wall_start
+            degrees = oriented.out_degrees + oriented.in_degrees
+            _audit.record_auto_route(
+                auto_plan, "list_triangles", result=result, wall_s=wall,
+                exact_plan=auto_plan, m=oriented.m,
+                max_degree=int(degrees.max()) if oriented.n else 0)
     publish_result_metrics(result)
     # publish the resolved engine as a labelled counter (and not just a
     # span attribute) so run-history reports can segment cost by engine

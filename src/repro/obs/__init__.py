@@ -18,6 +18,10 @@ near-free when disabled:
   resource sampler, model-ops progress/ETA events, worker heartbeats
   with a stall watchdog, and the ``repro top`` /
   ``repro serve-metrics`` read surface.
+* :mod:`repro.obs.audit` -- the model-conformance audit layer
+  (``REPRO_AUDIT=1``): per-decision predicted-vs-actual records for
+  every auto-routed planner pick, realized regret, misplan diagnosis,
+  and the ``repro audit`` read surface.
 
 Two read-side layers analyze that history (``repro report`` on the
 command line):
@@ -54,7 +58,7 @@ from __future__ import annotations
 
 import os
 
-from repro.obs import baselines, bus, dashboard, export, live
+from repro.obs import audit, baselines, bus, dashboard, export, live
 from repro.obs import logging as obs_logging
 from repro.obs import metrics, profiling, records, report, spans
 from repro.obs.baselines import (Baseline, build_baseline, compare,
@@ -76,6 +80,7 @@ __all__ = [
     "Baseline",
     "RunRecord",
     "Span",
+    "audit",
     "baselines",
     "build_baseline",
     "bus",

@@ -93,6 +93,26 @@ EVENT_SCHEMA: dict[str, dict[str, tuple]] = {
     # run bracketing, for multi-run event streams
     "run.start": {"name": (str,)},
     "run.end": {"name": (str,)},
+    # audit layer (repro.obs.audit): one auto-routed planner pick
+    "planner.decision": {
+        "route": (str,),       # "list_triangles" | "run_pipeline" | ...
+        "picked": (str,),      # "METHOD+ordering"
+        "confidence": (int, float),
+    },
+    # audit layer: a pick whose realized regret crossed the threshold
+    "planner.misplan": {
+        "route": (str,),
+        "picked": (str,),
+        "oracle": (str,),
+        "regret": (int, float),
+        "kind": (str,),        # diagnosis taxonomy, see audit.diagnose
+    },
+    # audit layer: assumed speed ratio far from the calibrated one
+    "planner.drift": {
+        "assumed": (int, float),
+        "calibrated": (int, float),
+        "factor": (int, float),
+    },
 }
 
 #: Optional, typed-when-present progress fields (the model-ops ETA).

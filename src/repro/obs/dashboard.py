@@ -493,6 +493,58 @@ def _workers_section(records) -> str:
                          f"tasks (latest recorded run)")
 
 
+def _audit_section(audit_records) -> str:
+    """Planner audit panel: prediction-ratio trend + misplan table."""
+    if not audit_records:
+        return ""
+    from repro.obs import audit as _audit
+    tail = list(audit_records)[-40:]
+    points = []
+    for i, rec in enumerate(tail):
+        ratio = _audit.prediction_ratio(rec)
+        if ratio is None:
+            continue
+        picked = rec.get("picked") or {}
+        label = f"#{len(audit_records) - len(tail) + i + 1}"
+        points.append((label, ratio,
+                       f"{picked.get('method')}+{picked.get('ordering')}"
+                       f" on {rec.get('graph_class', '?')}: "
+                       f"predicted/actual ops {ratio:.3g}"))
+    chart = ""
+    if points:
+        chart = _column_chart(points, unit="pred/actual",
+                              label="prediction ratio per decision "
+                                    "(1.0 = perfectly calibrated)")
+    summary = _audit.audit_summary(audit_records)
+    misplans = _audit.misplan_rows(audit_records)
+
+    def _fmt_pct(value):
+        if not isinstance(value, (int, float)):
+            return "--"
+        if math.isinf(value):
+            return "inf"
+        return f"{100 * value:.2f}%"
+
+    rows = [(str(m.get("route") or "--"), str(m.get("label") or "--"),
+             str(m.get("picked") or "--"), str(m.get("oracle") or "--"),
+             _fmt_pct(m.get("regret")), str(m.get("kind") or "--"),
+             str(m.get("detail") or ""))
+            for m in misplans[:40]]
+    table = ""
+    if rows:
+        table = _table(("route", "case", "picked", "oracle", "regret",
+                        "diagnosis", "detail"), rows)
+    note = (f"{summary['records']} audited decision(s) · "
+            f"{summary['misplans']} misplan(s) · median regret "
+            f"{_fmt_pct(summary['median_regret'])} · median "
+            f"prediction ratio "
+            f"{summary['median_ratio']:.3g}"
+            if isinstance(summary.get("median_ratio"), (int, float))
+            else f"{summary['records']} audited decision(s) · "
+                 f"{summary['misplans']} misplan(s)")
+    return _section("Planner audit", chart + table, note=note)
+
+
 _CSS = """
 :root { color-scheme: light; }
 body {
@@ -574,12 +626,15 @@ th { color: var(--text-secondary); font-weight: 600; }
 
 
 def render_dashboard(records, deltas=None, baseline_meta=None,
-                     title: str = "repro run history") -> str:
+                     title: str = "repro run history",
+                     audit_records=None) -> str:
     """Render the run history into one self-contained HTML page.
 
     ``records`` is a list of :class:`~repro.obs.records.RunRecord`;
     ``deltas`` (optional) is the output of
-    :func:`repro.obs.baselines.compare` for the verdicts section.
+    :func:`repro.obs.baselines.compare` for the verdicts section;
+    ``audit_records`` (optional) is a list of planner audit dicts
+    (:func:`repro.obs.audit.load_audit`) for the audit panel.
     """
     records = list(records)
     div_rows = _report.divergence_rows(records)
@@ -592,6 +647,7 @@ def render_dashboard(records, deltas=None, baseline_meta=None,
         _phases_section(records),
         _divergence_section(div_rows),
         _workers_section(records),
+        _audit_section(audit_records or []),
     ]
     return (
         "<!DOCTYPE html>\n"
@@ -610,13 +666,15 @@ def render_dashboard(records, deltas=None, baseline_meta=None,
 
 
 def write_dashboard(records, path, deltas=None, baseline_meta=None,
-                    title: str = "repro run history"):
+                    title: str = "repro run history",
+                    audit_records=None):
     """Write :func:`render_dashboard` output to ``path``."""
     import pathlib
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(render_dashboard(records, deltas=deltas,
                                      baseline_meta=baseline_meta,
-                                     title=title),
+                                     title=title,
+                                     audit_records=audit_records),
                     encoding="utf-8")
     return path

@@ -42,6 +42,7 @@ import gc
 import http.server
 import json
 import logging
+import math
 import os
 import re
 import threading
@@ -601,6 +602,9 @@ class LiveState:
         self.progress: dict[tuple, dict] = {}
         self.phases: list[str] = []
         self.workers: dict[int, dict] = {}
+        self.planner: dict | None = None
+        self.misplans = 0
+        self.drift: dict | None = None
         self.events = 0
         self.last_ts: float | None = None
 
@@ -635,6 +639,13 @@ class LiveState:
                 pid, {"last_ts": ts, "task": ""})
             state["stalled"] = True
             state["task"] = event.get("last_task", state.get("task", ""))
+        elif type_ == "planner.decision":
+            self.planner = event
+        elif type_ == "planner.misplan":
+            self.misplans += 1
+            self.planner = event
+        elif type_ == "planner.drift":
+            self.drift = event
 
     def update_many(self, events) -> None:
         """Fold an iterable of events, in order."""
@@ -657,6 +668,19 @@ class LiveState:
         out["live.workers"] = float(len(self.workers))
         out["live.workers_stalled"] = float(
             sum(1 for w in self.workers.values() if w.get("stalled")))
+        if self.planner is not None:
+            conf = self.planner.get("confidence")
+            if isinstance(conf, (int, float)):
+                out["live.planner_confidence"] = float(conf)
+            regret = self.planner.get("regret")
+            if isinstance(regret, (int, float)) and \
+                    math.isfinite(regret):
+                out["live.planner_regret"] = float(regret)
+        out["live.planner_misplans"] = float(self.misplans)
+        if self.drift is not None and isinstance(
+                self.drift.get("factor"), (int, float)):
+            out["live.planner_drift_factor"] = float(
+                self.drift["factor"])
         return out
 
 
@@ -713,6 +737,33 @@ def render_status(state: LiveState) -> str:
                          f"{age:5.1f}s ago  {worker.get('task', '')}")
     else:
         lines.append("worker   : --")
+    # the planner line appears only once a decision event was seen, so
+    # event streams from planner-free runs render exactly as before
+    if state.planner is not None:
+        ev = state.planner
+        flag = "MISPLAN" if ev.get("type") == "planner.misplan" else "ok"
+        conf = ev.get("confidence")
+        conf_txt = (f"  conf {conf:.2f}"
+                    if isinstance(conf, (int, float)) else "")
+        regret = ev.get("regret")
+        regret_txt = ""
+        if isinstance(regret, (int, float)):
+            regret_txt = ("  regret inf" if math.isinf(regret)
+                          else f"  regret {100 * regret:.1f}%")
+        kind = ev.get("kind")
+        kind_txt = f"  [{kind}]" if isinstance(kind, str) else ""
+        misplan_txt = (f"  misplans {state.misplans}"
+                       if state.misplans else "")
+        lines.append(f"planner  : {ev.get('picked', '?'):<16} "
+                     f"{flag:<8}{conf_txt}{regret_txt}{kind_txt}"
+                     f"{misplan_txt}")
+        if state.drift is not None:
+            d = state.drift
+            lines.append(
+                f"planner  : speed-ratio drift assumed "
+                f"{d.get('assumed', 0.0):.3g}x vs calibrated "
+                f"{d.get('calibrated', 0.0):.3g}x "
+                f"({d.get('factor', 0.0):.1f}x apart)")
     return "\n".join(lines)
 
 

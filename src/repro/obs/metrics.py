@@ -15,11 +15,13 @@ essentially free of overhead. All registry operations are thread-safe.
 
 from __future__ import annotations
 
+import random
 import threading
 
 __all__ = [
     "Histogram",
     "MAX_SAMPLES",
+    "RESERVOIR_SEED",
     "MetricsRegistry",
     "percentile",
     "counter",
@@ -39,9 +41,15 @@ __all__ = [
 _enabled = False
 
 
-#: Per-histogram sample cap: beyond this, percentiles come from the
-#: first MAX_SAMPLES observations (count/sum/min/max stay exact).
+#: Per-histogram sample cap: beyond this, percentiles come from a
+#: uniform reservoir of MAX_SAMPLES observations (count/sum/min/max
+#: stay exact).
 MAX_SAMPLES = 8192
+
+#: Deterministic seed of every histogram's reservoir RNG: identical
+#: observation streams yield identical p50/p95/p99 in trend rows and
+#: audit aggregates, run after run.
+RESERVOIR_SEED = 2017
 
 
 def percentile(ordered, q: float) -> float:
@@ -60,19 +68,25 @@ def percentile(ordered, q: float) -> float:
 class Histogram:
     """Summary of observed values: count/sum/min/max/mean + percentiles.
 
-    Keeps the raw samples (up to :data:`MAX_SAMPLES`) so the snapshot
-    can report p50/p95/p99; past the cap new values still update the
-    exact streaming fields but no longer join the percentile sample.
+    Keeps a uniform random sample of the observations (up to
+    :data:`MAX_SAMPLES`, Vitter's Algorithm R) so the snapshot can
+    report p50/p95/p99 that remain representative past the cap -- a
+    first-N sample would freeze the percentiles on the warm-up phase
+    of a long run. The reservoir RNG is seeded deterministically
+    (:data:`RESERVOIR_SEED`), so identical observation streams produce
+    identical percentiles; ``count``/``sum``/``min``/``max`` are exact
+    streaming fields regardless.
     """
 
-    __slots__ = ("count", "total", "min", "max", "samples")
+    __slots__ = ("count", "total", "min", "max", "samples", "_rng")
 
-    def __init__(self):
+    def __init__(self, seed: int = RESERVOIR_SEED):
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
         self.samples: list[float] = []
+        self._rng = random.Random(seed)
 
     def observe(self, value: float) -> None:
         """Fold one observation into the streaming summary."""
@@ -85,6 +99,13 @@ class Histogram:
             self.max = value
         if len(self.samples) < MAX_SAMPLES:
             self.samples.append(value)
+        else:
+            # Algorithm R: observation i replaces a reservoir slot
+            # with probability MAX_SAMPLES / i, keeping the sample
+            # uniform over everything seen so far.
+            j = self._rng.randrange(self.count)
+            if j < MAX_SAMPLES:
+                self.samples[j] = value
 
     def summary(self) -> dict:
         """JSON-ready summary; empty histograms report ``count = 0``."""

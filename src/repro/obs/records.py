@@ -35,6 +35,7 @@ __all__ = [
     "fsync_from_env",
     "git_revision",
     "host_meta",
+    "append_jsonl_line",
     "json_default",
     "listing_result_from_dict",
     "listing_result_to_dict",
@@ -227,17 +228,16 @@ def collect(name: str, config: dict | None = None,
     )
 
 
-def write_record(record: RunRecord, path=None,
-                 fsync: bool | None = None) -> pathlib.Path:
-    """Append ``record`` as one JSONL line; returns the sink path.
+def append_jsonl_line(path, line: str,
+                      fsync: bool | None = None) -> pathlib.Path:
+    """Append one pre-serialized JSON line to ``path`` atomically.
 
-    The append is atomic at the line level: the record is serialized
-    fully *before* the file is touched, then written through one
-    ``O_APPEND`` descriptor, so a crashed or concurrent writer can tear
-    at most its own line -- it can never interleave bytes into another
-    record. :func:`load_records` keeps its skip-with-warning path as
-    the fallback for histories written before this guarantee (or torn
-    by power loss mid-sector).
+    The shared low-level appender behind :func:`write_record` and the
+    audit log (:mod:`repro.obs.audit`). The append is atomic at the
+    line level: the caller serializes fully *before* the file is
+    touched, then the line goes through one ``O_APPEND`` descriptor,
+    so a crashed or concurrent writer can tear at most its own line --
+    it can never interleave bytes into another record.
 
     ``fsync=None`` (the default) consults ``REPRO_FSYNC`` via
     :func:`fsync_from_env`: flushes stay on unless a caller (the
@@ -245,9 +245,9 @@ def write_record(record: RunRecord, path=None,
     """
     if fsync is None:
         fsync = fsync_from_env()
-    sink = runs_path(path)
+    sink = pathlib.Path(path)
     sink.parent.mkdir(parents=True, exist_ok=True)
-    payload = (record.to_json() + "\n").encode("utf-8")
+    payload = (line.rstrip("\n") + "\n").encode("utf-8")
     fd = os.open(str(sink), os.O_WRONLY | os.O_CREAT | os.O_APPEND,
                  0o644)
     try:
@@ -262,6 +262,19 @@ def write_record(record: RunRecord, path=None,
     finally:
         os.close(fd)
     return sink
+
+
+def write_record(record: RunRecord, path=None,
+                 fsync: bool | None = None) -> pathlib.Path:
+    """Append ``record`` as one JSONL line; returns the sink path.
+
+    See :func:`append_jsonl_line` for the atomicity and fsync
+    contract; :func:`load_records` keeps its skip-with-warning path as
+    the fallback for histories written before this guarantee (or torn
+    by power loss mid-sector).
+    """
+    return append_jsonl_line(runs_path(path), record.to_json(),
+                             fsync=fsync)
 
 
 def record_run(name: str, config: dict | None = None,

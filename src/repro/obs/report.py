@@ -265,6 +265,7 @@ def trend_rows(records) -> list[dict]:
             if per_q:
                 quantiles[metric] = {q: median(vals)
                                      for q, vals in per_q.items()}
+        auto_method, auto_routes, auto_confidence = _auto_summary(recs)
         rows.append({
             "name": name, "git_rev": rev, "runs": len(recs),
             "first_ts": group["first_ts"],
@@ -272,9 +273,57 @@ def trend_rows(records) -> list[dict]:
             "counters": counters,
             "quantiles": quantiles,
             "host": "+".join(hosts) if hosts else None,
+            "auto_method": auto_method,
+            "auto_routes": auto_routes,
+            "auto_confidence": auto_confidence,
         })
     rows.sort(key=lambda r: (r["name"], r["first_ts"] or 0.0))
     return rows
+
+
+def _auto_summary(recs) -> tuple[str | None, float, float | None]:
+    """The planner's auto-routing footprint across a group of repeats.
+
+    ``(dominant method, total routes, median confidence)``. Pulled
+    from two places so both old and new histories answer: the
+    ``planner.auto.<METHOD>`` per-pick counters plus the
+    ``planner.auto_confidence`` gauge the router publishes, and -- for
+    records whose producers stashed a result's
+    ``extra["auto_method"]``/``extra["auto_confidence"]`` into the run
+    config -- those keys as a fallback.
+    """
+    picks: dict[str, float] = {}
+    routes = 0.0
+    confidences: list[float] = []
+    for rec in recs:
+        counters = rec.metrics.get("counters", {}) or {}
+        for name, value in counters.items():
+            if name.startswith("planner.auto.") and \
+                    isinstance(value, (int, float)):
+                method = name[len("planner.auto."):]
+                picks[method] = picks.get(method, 0.0) + float(value)
+        total = counters.get("planner.auto_routes")
+        if isinstance(total, (int, float)):
+            routes += float(total)
+        gauge = (rec.metrics.get("gauges", {}) or {}).get(
+            "planner.auto_confidence")
+        if isinstance(gauge, (int, float)):
+            confidences.append(float(gauge))
+        config = rec.config or {}
+        extra = config.get("extra") if isinstance(
+            config.get("extra"), dict) else {}
+        method = config.get("auto_method") or extra.get("auto_method")
+        if isinstance(method, str) and method:
+            picks[method] = picks.get(method, 0.0) + 1.0
+            routes += 1.0
+        conf = (config.get("auto_confidence")
+                if config.get("auto_confidence") is not None
+                else extra.get("auto_confidence"))
+        if isinstance(conf, (int, float)):
+            confidences.append(float(conf))
+    dominant = (max(sorted(picks), key=picks.get) if picks else None)
+    confidence = median(confidences) if confidences else None
+    return dominant, routes, confidence
 
 
 def _host_label(host) -> str | None:
@@ -302,7 +351,8 @@ def format_trends(rows) -> str:
     lines = [f"{'bench':<28} {'git_rev':>9} {'runs':>5} "
              f"{'wall ms (med+/-MAD)':>21} {'lister.ops':>12} "
              f"{'triangles':>10} {'instances':>10} {'divergent':>10} "
-             f"{'task ms p50/p95/p99':>22} {'host':>14}"]
+             f"{'task ms p50/p95/p99':>22} {'auto':>9} {'conf':>5} "
+             f"{'host':>14}"]
     for row in rows:
         wall = row["wall_ms"]
         counters = row["counters"]
@@ -314,13 +364,19 @@ def format_trends(rows) -> str:
         task = (row.get("quantiles") or {}).get("parallel.task_ms")
         task_col = ("--" if not task else "/".join(
             f"{task[q]:.1f}" for q in _TREND_QUANTILES if q in task))
+        auto = row.get("auto_method")
+        routes = row.get("auto_routes") or 0
+        auto_col = f"{auto}x{routes:.0f}" if auto else "--"
+        conf = row.get("auto_confidence")
+        conf_col = "--" if conf is None else f"{conf:.2f}"
         lines.append(
             f"{row['name']:<28} {row['git_rev']:>9} {row['runs']:>5} "
             f"{wall['median']:>12.2f} +/- {wall['mad']:>5.2f} "
             f"{fmt('lister.ops'):>12} {fmt('lister.triangles'):>10} "
             f"{fmt('harness.instances'):>10} "
             f"{fmt('harness.divergent_cells'):>10} "
-            f"{task_col:>22} {row.get('host') or '--':>14}")
+            f"{task_col:>22} {auto_col:>9} {conf_col:>5} "
+            f"{row.get('host') or '--':>14}")
     return "\n".join(lines)
 
 

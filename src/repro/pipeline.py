@@ -94,12 +94,16 @@ def run_pipeline(graph, method: str = "E1", order: str | None = None,
         print(report.count, report.order, report.per_node_cost)
     """
     method = method.upper()
+    audit_plan = None
     if method == "AUTO":
         from repro.planner import GRAPH_ORDERINGS, plan_for_graph
         orderings = (order,) if order else GRAPH_ORDERINGS
         plan = plan_for_graph(graph, orderings=orderings)
         method = plan.best.method
         order = plan.best.ordering
+        audit_plan = plan
+    from repro.obs import audit as _audit
+    audit_on = audit_plan is not None and _audit.is_enabled()
     if order is None:
         order = optimal_order_for(method)
     if order == "opt":
@@ -113,8 +117,17 @@ def run_pipeline(graph, method: str = "E1", order: str | None = None,
             f"{sorted([*_ORDERS, 'opt'])}")
     if permutation.is_random and rng is None:
         rng = np.random.default_rng()
+    if audit_on:
+        import time
+        wall_start = time.perf_counter()
     oriented = orient(graph, permutation, rng=rng)
     result = list_triangles(oriented, method, collect=collect)
+    if audit_on:
+        wall = time.perf_counter() - wall_start
+        _audit.record_auto_route(
+            audit_plan, "run_pipeline", result=result, wall_s=wall,
+            exact_plan=audit_plan,
+            max_degree=int(graph.degrees.max()) if graph.n else 0)
     return PipelineReport(
         result=result,
         order=order,

@@ -171,6 +171,18 @@ def evaluate_case(case: RegretCase, rng: np.random.Generator,
             regret = _regret(actual, best)
     if _metrics.is_enabled():
         _metrics.inc("planner.regret_cases")
+    if oracle_mode == "ops":
+        # Audit the planner pick against the exact oracle table: the
+        # realized-regret arithmetic in repro.obs.audit is this row's
+        # _regret(actual, best), so audit records written here match
+        # the harness definition bit-for-bit. No-op unless REPRO_AUDIT.
+        from repro.obs import audit as _audit
+        if _audit.is_enabled():
+            _audit.record_auto_route(
+                planner, "regret_case", exact_plan=oracle,
+                n=graph.n, m=graph.m,
+                max_degree=int(graph.degrees.max()) if graph.n else 0,
+                label=case.label)
     # "agree" means the planner picked *an* optimum: the exact key, or
     # a tie (many candidates are isomorphic -- e.g. E3+ascending is
     # E1+descending read backwards -- and orderings coincide on
