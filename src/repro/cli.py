@@ -17,6 +17,8 @@ Subcommands::
                      (trends | baseline | compare | divergence | html)
     repro audit      planner model-conformance audit over audit.jsonl
                      (summary | misplans | validate | calibration)
+    repro mem        memory observability: array ledger + footprint
+                     conformance (summary | ledger | conformance)
     repro export     recorded runs -> Chrome trace JSON / flame stacks
                      (trace | flame)
     repro top        live terminal view of a telemetry event stream
@@ -751,6 +753,81 @@ def cmd_audit(args) -> int:
     return 0
 
 
+def _mem_pipeline(args):
+    """Build a graph and run one ledger-attributed listing pass.
+
+    The array ledger is reset and force-enabled for the run, and the
+    compiled kernels are bypassed: the footprint model prices the
+    numpy engine's arrays, which the native fast path never
+    allocates. The pass drives *exactly* the named method's kernel
+    shape (:func:`repro.engine.run_method_kernel`) so every array the
+    method genuinely requires materializes -- ``run_numpy``'s
+    count-only shortcut would route through the cheapest base shape
+    and skip the method's own windows. Returns ``(oriented, count)``.
+    """
+    from repro.engine import run_method_kernel
+    from repro.obs import memory as obs_memory
+
+    obs_memory.reset()
+    obs_memory.enable()
+    rng = np.random.default_rng(args.seed)
+    if args.graph:
+        graph = load_edge_list(args.graph)
+    else:
+        dist = _dist_from_args(args)
+        dist_n = dist.truncate(root_truncation(args.n))
+        degrees = sample_degree_sequence(dist_n, args.n, rng)
+        graph = generate_graph(degrees, rng)
+    perm = _ORDERS[args.order]()
+    oriented = orient(graph, perm, rng=rng)
+    count = run_method_kernel(oriented, args.method)
+    return oriented, count
+
+
+def cmd_mem(args) -> int:
+    """``repro mem``: the memory observability read surface.
+
+    Runs one numpy listing pass (synthetic graph, or ``--graph``) with
+    the array ledger on, then reads it back: ``summary`` prints the
+    headline attribution plus the conformance verdict; ``ledger`` the
+    per-tag table; ``conformance`` the full predicted-vs-attributed
+    verdict, exiting non-zero on ``fail`` (the CI mem-smoke gate).
+    """
+    import json
+
+    from repro.obs import memory as obs_memory
+
+    oriented, count = _mem_pipeline(args)
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else obs_memory.DEFAULT_TOLERANCE)
+    report = obs_memory.conformance_report(
+        oriented.n, oriented.m, method=args.method,
+        tolerance=tolerance)
+    if args.mem_command == "ledger":
+        rows = obs_memory.ledger_rows()
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(obs_memory.format_ledger(rows))
+        return 0
+    if args.mem_command == "conformance":
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(obs_memory.format_conformance(report))
+        return 0 if report["verdict"] == "pass" else 1
+    # summary
+    summary = obs_memory.ledger_summary()
+    if args.json:
+        print(json.dumps({"summary": summary, "conformance": report},
+                         indent=2))
+    else:
+        print(f"graph: n={oriented.n} m={oriented.m} "
+              f"method={args.method} triangles={count}")
+        print(obs_memory.format_summary(summary, report))
+    return 0
+
+
 def cmd_export(args) -> int:
     """``repro export``: recorded runs -> standard viewer formats.
 
@@ -792,10 +869,13 @@ def cmd_top(args) -> int:
     Follows the JSONL stream a run writes under
     ``REPRO_LIVE_EVENTS=PATH`` and refreshes a status block in place:
     current phase, progress %, model-ops ETA, RSS/CPU, per-worker
-    liveness. ``--once`` renders the current state and exits;
+    liveness, and memory pressure. ``--once`` renders the current
+    state and exits (add ``--json`` for a machine-readable dump);
     ``--validate`` schema-checks the stream instead (the CI gate) and
     exits non-zero on any malformed event.
     """
+    import json
+
     from repro.obs import bus as obs_bus
     from repro.obs import live as obs_live
     if args.validate:
@@ -821,10 +901,13 @@ def cmd_top(args) -> int:
             except OSError:
                 events = []
             state.update_many(events)
-            text = obs_live.render_status(state)
             if args.once:
-                print(text)
+                if args.json:
+                    print(json.dumps(state.to_dict(), indent=2))
+                else:
+                    print(obs_live.render_status(state))
                 return 0
+            text = obs_live.render_status(state)
             sys.stdout.write("\x1b[H\x1b[2J" + text + "\n")
             sys.stdout.flush()
             time.sleep(args.interval)
@@ -1217,6 +1300,47 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--json", action="store_true",
                     help="print the store and resolved ratio as JSON")
 
+    p = add_parser("mem",
+                   help="memory observability: array ledger + "
+                        "footprint conformance")
+    msub = p.add_subparsers(dest="mem_command", required=True)
+
+    def add_mem_parser(name, **kwargs):
+        mp = msub.add_parser(name, **kwargs)
+        mp.add_argument("--graph", default=None, metavar="PATH",
+                        help="edge-list to attribute (omit for a "
+                             "synthetic Pareto graph)")
+        mp.add_argument("--n", type=int, default=100_000,
+                        help="synthetic graph size (default 100000)")
+        mp.add_argument("--alpha", type=float, default=1.7,
+                        help="synthetic Pareto tail index "
+                             "(default 1.7)")
+        mp.add_argument("--beta", type=float, default=None,
+                        help="Pareto scale (default: 30 (alpha - 1))")
+        mp.add_argument("--seed", type=int, default=7,
+                        help="RNG seed (default 7)")
+        mp.add_argument("--method", default="E1",
+                        help="listing method to run (default E1)")
+        mp.add_argument("--order", choices=sorted(_ORDERS),
+                        default="descending",
+                        help="vertex ordering (default descending)")
+        mp.add_argument("--tolerance", type=float,
+                        default=None, metavar="FRAC",
+                        help="conformance tolerance as a fraction "
+                             "(default 0.10)")
+        mp.add_argument("--json", action="store_true",
+                        help="print the result as JSON")
+        mp.set_defaults(func=cmd_mem)
+        return mp
+
+    add_mem_parser("summary",
+                   help="headline attributed bytes + conformance "
+                        "verdict")
+    add_mem_parser("ledger", help="the per-tag attribution table")
+    add_mem_parser("conformance",
+                   help="predicted-vs-attributed footprint verdict; "
+                        "exit non-zero on fail (the CI gate)")
+
     p = add_parser("export",
                    help="recorded runs -> Chrome trace JSON / flame "
                         "stacks")
@@ -1261,6 +1385,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="refresh period in seconds (default 1.0)")
     p.add_argument("--once", action="store_true",
                    help="render the current state once and exit")
+    p.add_argument("--json", action="store_true",
+                   help="with --once: print the state as JSON instead "
+                        "of the status block")
     p.add_argument("--validate", action="store_true",
                    help="schema-check the stream instead of rendering; "
                         "exit non-zero on malformed events")

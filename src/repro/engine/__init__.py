@@ -27,6 +27,7 @@ from repro.engine import native
 from repro.engine.kernels import (
     CHUNK_CANDIDATES,
     NUMPY_METHODS,
+    run_method_kernel,
     run_numpy,
 )
 from repro.engine.native import (
@@ -41,6 +42,7 @@ __all__ = [
     "NUMPY_METHODS",
     "list_triangles_array",
     "native",
+    "run_method_kernel",
     "run_numpy",
     "stream_triangles",
 ]

@@ -55,6 +55,7 @@ from repro.core.methods import get_method
 from repro.engine import native as _native
 from repro.listing.base import ListingResult
 from repro.obs import bus as _bus
+from repro.obs import memory as _memory
 from repro.obs import metrics as _metrics
 
 #: Candidate pairs materialized per batch (caps peak working memory).
@@ -165,6 +166,11 @@ class _GraphCache:
         self.in_rows32 = np.repeat(
             np.arange(n, dtype=np.uint32), oriented.in_degrees)
         self.bloom = self._build_bloom(self.out_rows32, self.out_idx32)
+        if _memory.is_enabled():
+            _memory.track(self, "engine.cache",
+                          (self.out_idx32, self.in_idx32,
+                           self.out_rows32, self.in_rows32))
+            _memory.track(self, "engine.bloom", (self.bloom,))
 
     @staticmethod
     def _build_bloom(src32, dst32) -> np.ndarray:
@@ -342,6 +348,7 @@ def _run_kernel(oriented, kernel, collect, stats=None, label=""):
     nu = counts.size
     u0 = 0
     while u0 < nu:
+        _memory.check_budget("engine chunk loop")
         u1 = int(np.searchsorted(cum, cum[u0] + CHUNK_CANDIDATES,
                                  side="right")) - 1
         u1 = min(max(u1, u0 + 1), nu)
@@ -444,6 +451,30 @@ def _collect_fast(oriented, kernel, method, stats=None,
     else:
         triangles = []
     return count, triangles, False
+
+
+def run_method_kernel(oriented, method: str) -> int:
+    """Count-only run of *exactly* ``method``'s kernel shape.
+
+    Unlike ``run_numpy(collect=False)`` -- which is free to count
+    through the cheapest base shape, since every method lists the same
+    triangles -- this drives the named method's own windows, so the
+    arrays it genuinely requires (e.g. the lazy in-key array for the
+    ``in_lt``/``in_gt`` methods) actually materialize. The memory
+    observability surface (``repro mem``) uses it to make the
+    footprint-conformance comparison honest. Returns the count.
+    """
+    method = method.upper()
+    kernel = _KERNELS.get(method)
+    if kernel is None:
+        raise ValueError(f"unknown method {method!r}; choose from "
+                         f"{NUMPY_METHODS}")
+    stats = _new_stats() if _metrics.is_enabled() else None
+    count, _ = _run_kernel(oriented, kernel, collect=False,
+                           stats=stats, label=f"mem:{method}")
+    if stats is not None:
+        _publish_stats(stats)
+    return count
 
 
 def run_numpy(oriented, method: str = "E1", collect: bool = True,

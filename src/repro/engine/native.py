@@ -55,6 +55,8 @@ import weakref
 
 import numpy as np
 
+from repro.obs import memory as _memory
+
 __all__ = [
     "KERNEL_KINDS",
     "available",
@@ -549,6 +551,9 @@ class _GraphArrays:
         self.nblocks = nblocks
         self.block_counts = np.zeros(nblocks, dtype=np.int64)
         self.block_ops = np.zeros(nblocks, dtype=np.int64)
+        if _memory.is_enabled():
+            _memory.track(self, "native.csr",
+                          (self.indptr, self.indices))
         self._p_indptr = self.indptr.ctypes.data_as(_I64P)
         self._p_indices = self.indices.ctypes.data_as(_U32P)
         self._p_starts = self.block_starts.ctypes.data_as(_I64P)
@@ -675,11 +680,15 @@ def list_triangles_array(oriented, threads: int | None = None,
     offsets = np.zeros(arrays.nblocks, dtype=np.int64)
     np.cumsum(arrays.block_counts[:-1], out=offsets[1:])
     buf = np.empty(total * 3, dtype=np.uint32)
-    rc = _lib.forward(
-        arrays._p_indptr, arrays._p_indices, arrays._p_starts,
-        arrays.nblocks, arrays.n, _KIND_CODES[kind], threads, 1,
-        offsets.ctypes.data_as(_I64P), buf.ctypes.data_as(_U32P),
-        arrays._p_counts, arrays._p_ops)
+    token = _memory.check_in("native.triangles", buf)
+    try:
+        rc = _lib.forward(
+            arrays._p_indptr, arrays._p_indices, arrays._p_starts,
+            arrays.nblocks, arrays.n, _KIND_CODES[kind], threads, 1,
+            offsets.ctypes.data_as(_I64P), buf.ctypes.data_as(_U32P),
+            arrays._p_counts, arrays._p_ops)
+    finally:
+        _memory.check_out(token)
     if rc != 0:
         return None
     _record_stats(arrays, kind, threads, total)
@@ -707,20 +716,30 @@ def stream_triangles(oriented, chunk_triangles: int = 1 << 20,
         ops = np.zeros(1, dtype=np.int64)
         buf = np.empty(cap * 3, dtype=np.uint32)
         mark = np.zeros(max(arrays.n, 1), dtype=np.uint8)
+        tokens = (_memory.check_in("native.triangles", buf),
+                  _memory.check_in("native.mark", mark))
         total = 0
-        while cursor[0] < arrays.n:
-            written = _lib.forward_stream(
-                arrays._p_indptr, arrays._p_indices, arrays.n,
-                _KIND_CODES[kind_name], cursor.ctypes.data_as(_I64P),
-                buf.ctypes.data_as(_U32P), cap,
-                ops.ctypes.data_as(_I64P), mark.ctypes.data_as(_U8P))
-            if written < 0:
-                raise RuntimeError("native streaming kernel failed")
-            if written:
-                total += int(written)
-                yield buf[:written * 3].reshape(-1, 3).copy()
-            elif cursor[0] < arrays.n:  # pragma: no cover - safety net
-                raise RuntimeError("native streaming kernel stalled")
+        try:
+            while cursor[0] < arrays.n:
+                _memory.check_budget("native streaming listing")
+                written = _lib.forward_stream(
+                    arrays._p_indptr, arrays._p_indices, arrays.n,
+                    _KIND_CODES[kind_name],
+                    cursor.ctypes.data_as(_I64P),
+                    buf.ctypes.data_as(_U32P), cap,
+                    ops.ctypes.data_as(_I64P),
+                    mark.ctypes.data_as(_U8P))
+                if written < 0:
+                    raise RuntimeError("native streaming kernel failed")
+                if written:
+                    total += int(written)
+                    yield buf[:written * 3].reshape(-1, 3).copy()
+                elif cursor[0] < arrays.n:  # pragma: no cover - safety
+                    raise RuntimeError(
+                        "native streaming kernel stalled")
+        finally:
+            for token in tokens:
+                _memory.check_out(token)
         global _last_stats
         _last_stats = {"kind": kind_name, "threads": 1,
                        "blocks": 1, "ops": int(ops[0]),

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.external.partition import LabelRangePartitioner
 from repro.listing.base import ListingResult, intersect_sorted
+from repro.obs import memory as _memory
 
 
 @dataclass
@@ -66,6 +67,7 @@ def external_e1(oriented, k: int,
         source = partitioner.load(s)
         io.record_load(s, source.byte_size())
         for c in range(s + 1):
+            _memory.check_budget("out-of-core E1 partition loop")
             if c == s:
                 candidate = source  # already resident
             else:
@@ -133,6 +135,7 @@ def external_e2(oriented, k: int,
             oriented.in_degrees[source.lo:source.hi]))
         io.record_load(s, source.byte_size() + in_bytes)
         for c in range(s, partitioner.num_partitions):
+            _memory.check_budget("out-of-core E2 partition loop")
             if c == s:
                 candidate = source
             else:

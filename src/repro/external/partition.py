@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import memory as _memory
+
 
 class Partition:
     """One label range ``[lo, hi)`` with its out-lists in CSR form."""
@@ -25,6 +27,7 @@ class Partition:
         self.hi = int(hi)
         self._indptr = indptr
         self._indices = indices
+        self._ledger_token: int | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -106,12 +109,18 @@ class LabelRangePartitioner:
         indices = (np.concatenate(lists) if lists
                    else np.empty(0, dtype=np.int64))
         partition = Partition(lo, hi, indptr, indices)
+        if _memory.is_enabled():
+            partition._ledger_token = _memory.check_in(
+                "ooc.partition", nbytes=partition.byte_size(),
+                dtype="int64")
         self._partitions[index] = partition
         return partition
 
     def evict(self, index: int) -> None:
         """Drop a cached partition (simulating memory pressure)."""
-        self._partitions.pop(index, None)
+        partition = self._partitions.pop(index, None)
+        if partition is not None:
+            _memory.check_out(partition._ledger_token)
 
 
 def plan_partitions(oriented, memory_bytes: int,

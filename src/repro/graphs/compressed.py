@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.listing.base import ListingResult
+from repro.obs import memory as _memory
 
 
 def encode_varint_deltas(sorted_values) -> bytes:
@@ -91,6 +92,13 @@ class CompressedOrientedGraph:
                            for i in range(self.n)]
         self._in_blobs = [encode_varint_deltas(oriented.in_neighbors(i))
                           for i in range(self.n)]
+        if _memory.is_enabled():
+            token = _memory.check_in("graph.compressed",
+                                     nbytes=self.compressed_bytes(),
+                                     dtype="varint")
+            if token is not None:
+                import weakref
+                weakref.finalize(self, _memory.check_out, token)
 
     def iter_out(self, i: int):
         """Sequentially decode ``N+(i)`` (ascending)."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.obs import memory as _memory
 
 
 class OrientedGraph:
@@ -82,6 +83,14 @@ class OrientedGraph:
         self._out_keys: np.ndarray | None = None
         self._in_keys: np.ndarray | None = None
 
+        if _memory.is_enabled():
+            _memory.track(self, "graph.csr",
+                          (self._out_indices, self._out_indptr,
+                           self._in_indices, self._in_indptr))
+            _memory.track(self, "graph.degrees",
+                          (self.out_degrees, self.in_degrees,
+                           self.degrees))
+
     def out_neighbors(self, i: int) -> np.ndarray:
         """``N+(i)``: neighbors with smaller labels, sorted ascending."""
         return self._out_indices[self._out_indptr[i]:self._out_indptr[i + 1]]
@@ -123,6 +132,7 @@ class OrientedGraph:
             rows = np.repeat(np.arange(self.n, dtype=np.int64),
                              self.out_degrees)
             self._out_keys = rows * np.int64(self.n) + self._out_indices
+            _memory.track(self, "graph.keys", (self._out_keys,))
         return self._out_keys
 
     def in_key_array(self) -> np.ndarray:
@@ -136,6 +146,7 @@ class OrientedGraph:
             rows = np.repeat(np.arange(self.n, dtype=np.int64),
                              self.in_degrees)
             self._in_keys = rows * np.int64(self.n) + self._in_indices
+            _memory.track(self, "graph.keys", (self._in_keys,))
         return self._in_keys
 
     def edge_key_set(self) -> set:

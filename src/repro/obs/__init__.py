@@ -22,6 +22,12 @@ near-free when disabled:
   (``REPRO_AUDIT=1``): per-decision predicted-vs-actual records for
   every auto-routed planner pick, realized regret, misplan diagnosis,
   and the ``repro audit`` read surface.
+* :mod:`repro.obs.memory` -- the memory observability layer
+  (``REPRO_MEM_LEDGER=1``): an array ledger attributing bytes to
+  tagged allocations and owning spans, a footprint conformance model
+  (predicted vs attributed bytes), per-span allocation attribution
+  (``REPRO_TRACEMALLOC=K``), a RAM-budget watchdog
+  (``REPRO_MEM_BUDGET``), and the ``repro mem`` read surface.
 
 Two read-side layers analyze that history (``repro report`` on the
 command line):
@@ -60,7 +66,7 @@ import os
 
 from repro.obs import audit, baselines, bus, dashboard, export, live
 from repro.obs import logging as obs_logging
-from repro.obs import metrics, profiling, records, report, spans
+from repro.obs import memory, metrics, profiling, records, report, spans
 from repro.obs.baselines import (Baseline, build_baseline, compare,
                                  has_regressions, load_baseline,
                                  save_baseline)
@@ -106,6 +112,7 @@ __all__ = [
     "listing_result_to_dict",
     "load_records",
     "log_event",
+    "memory",
     "metrics",
     "metrics_snapshot",
     "obs_logging",
@@ -130,14 +137,17 @@ __all__ = [
 _TRUTHY = {"1", "true", "yes", "on"}
 
 
-def enable(memory: bool = False, profile: int | None = None) -> None:
+def enable(memory: bool = False, profile: int | None = None,
+           alloc: int | None = None) -> None:
     """Enable span collection and metric publication together.
 
     ``profile`` forwards to :func:`repro.obs.spans.enable`: top-K
     cProfile attribution per top-level span (``None`` consults the
-    ``REPRO_PROFILE`` environment knob).
+    ``REPRO_PROFILE`` environment knob). ``alloc`` likewise: top-K
+    tracemalloc allocation attribution (``None`` consults
+    ``REPRO_TRACEMALLOC``).
     """
-    spans.enable(memory=memory, profile=profile)
+    spans.enable(memory=memory, profile=profile, alloc=alloc)
     metrics.enable()
 
 

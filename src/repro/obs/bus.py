@@ -113,6 +113,20 @@ EVENT_SCHEMA: dict[str, dict[str, tuple]] = {
         "calibrated": (int, float),
         "factor": (int, float),
     },
+    # memory watchdog (repro.obs.memory): one pressure reading per
+    # resource sample while REPRO_MEM_BUDGET is armed
+    "mem.pressure": {
+        "rss_bytes": (int,),
+        "budget_bytes": (int,),
+        "frac": (int, float),
+    },
+    # memory watchdog: RSS crossed the budget (once per excursion)
+    "mem.breach": {
+        "rss_bytes": (int,),
+        "budget_bytes": (int,),
+        "overshoot_bytes": (int,),
+        "action": (str,),      # "warn" | "abort"
+    },
 }
 
 #: Optional, typed-when-present progress fields (the model-ops ETA).
@@ -121,6 +135,15 @@ _PROGRESS_OPTIONAL = {
     "ops_predicted": (int, float),
     "eta_s": (int, float),
     "phase": (str,),
+}
+
+#: Optional typed-when-present fields per event type. Keeping
+#: ``rss_peak_bytes`` optional (it postdates the first recorded
+#: streams) lets old event files keep validating.
+_OPTIONAL_FIELDS: dict[str, dict[str, tuple]] = {
+    "progress": _PROGRESS_OPTIONAL,
+    "resource.sample": {"rss_peak_bytes": (int,)},
+    "mem.pressure": {"attributed_bytes": (int,)},
 }
 
 
@@ -326,14 +349,14 @@ def validate_event(event) -> list[str]:
             errors.append(f"{type_}: field {field!r} should be "
                           f"{'/'.join(k.__name__ for k in kinds)}, "
                           f"got {value!r}")
-    if type_ == "progress":
-        for field, kinds in _PROGRESS_OPTIONAL.items():
-            value = event.get(field)
-            if value is not None and not isinstance(value, kinds):
-                errors.append(f"progress: optional field {field!r} "
-                              f"should be "
-                              f"{'/'.join(k.__name__ for k in kinds)}, "
-                              f"got {value!r}")
+    for field, kinds in _OPTIONAL_FIELDS.get(type_, {}).items():
+        value = event.get(field)
+        if value is not None and (not isinstance(value, kinds)
+                                  or isinstance(value, bool)):
+            errors.append(f"{type_}: optional field {field!r} "
+                          f"should be "
+                          f"{'/'.join(k.__name__ for k in kinds)}, "
+                          f"got {value!r}")
     return errors
 
 

@@ -493,6 +493,50 @@ def _workers_section(records) -> str:
                          f"tasks (latest recorded run)")
 
 
+def _fmt_mem(value) -> str:
+    if not isinstance(value, (int, float)):
+        return "--"
+    value = float(value)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return (f"{value:.0f} {unit}" if unit == "B"
+                    else f"{value:.1f} {unit}")
+        value /= 1024.0
+    return "--"  # pragma: no cover - unreachable
+
+
+def _memory_section(records) -> str:
+    """Memory panel: per-tag attributed bytes from the array ledger."""
+    latest = None
+    for rec in records:
+        summary = (rec.metrics or {}).get("memory")
+        if isinstance(summary, dict) and summary.get("tags"):
+            latest = summary
+    if latest is None:
+        return ""
+    tags = latest.get("tags") or []
+    points = [(row["tag"], row.get("peak_bytes", 0) / (1024 * 1024),
+               f"{row['tag']}: peak {_fmt_mem(row.get('peak_bytes'))}")
+              for row in tags[:12]]
+    chart = _column_chart(points, unit="MB",
+                          label="peak attributed bytes per ledger tag")
+    table = _table(
+        ("tag", "peak", "live", "total", "check-ins", "dtypes"),
+        [(row["tag"], _fmt_mem(row.get("peak_bytes")),
+          _fmt_mem(row.get("live_bytes")),
+          _fmt_mem(row.get("total_bytes")),
+          str(row.get("checkins", 0)), str(row.get("dtypes", "")))
+         for row in tags])
+    budget = latest.get("budget_bytes") or 0
+    budget_text = (f"budget {_fmt_mem(budget)} · "
+                   f"{latest.get('breaches', 0)} breach(es)"
+                   if budget else "no RAM budget armed")
+    note = (f"peak attributed {_fmt_mem(latest.get('peak_bytes'))} · "
+            f"{len(tags)} tag(s) · {budget_text} "
+            f"(latest recorded run with REPRO_MEM_LEDGER=1)")
+    return _section("Memory footprint", chart + table, note=note)
+
+
 def _audit_section(audit_records) -> str:
     """Planner audit panel: prediction-ratio trend + misplan table."""
     if not audit_records:
@@ -647,6 +691,7 @@ def render_dashboard(records, deltas=None, baseline_meta=None,
         _phases_section(records),
         _divergence_section(div_rows),
         _workers_section(records),
+        _memory_section(records),
         _audit_section(audit_records or []),
     ]
     return (

@@ -149,6 +149,49 @@ def record_to_events(record, pid: int = 1) -> list[dict]:
             "tid": MAIN_TID, "ts": round(cursor, 3),
             "args": {"value": value},
         })
+    events.extend(_memory_counter_events(metrics, pid, cursor))
+    return events
+
+
+def _memory_counter_events(metrics: dict, pid: int,
+                           cursor_us: float) -> list[dict]:
+    """Memory counter track: RSS series + ledger attributed bytes.
+
+    The resource sampler's ring (``metrics["resources"]``, attached
+    while the live runtime was on) becomes a ``mem.rss_bytes`` /
+    ``mem.rss_peak_bytes`` counter series laid out by wall-clock
+    offset from the first sample; the array ledger summary
+    (``metrics["memory"]``, attached while ``REPRO_MEM_LEDGER`` was
+    on) lands as attributed-bytes counters at the trace end.
+    """
+    events: list[dict] = []
+    t0 = None
+    for sample in metrics.get("resources") or ():
+        ts = sample.get("ts") if isinstance(sample, dict) else None
+        if not isinstance(ts, (int, float)):
+            continue
+        if t0 is None:
+            t0 = ts
+        offset_us = (ts - t0) * 1e6
+        for key in ("rss_bytes", "rss_peak_bytes"):
+            value = sample.get(key)
+            if isinstance(value, (int, float)):
+                events.append({
+                    "name": f"mem.{key}", "cat": "memory", "ph": "C",
+                    "pid": pid, "tid": MAIN_TID,
+                    "ts": round(offset_us, 3),
+                    "args": {"value": value},
+                })
+    ledger = metrics.get("memory") or {}
+    for key in ("current_bytes", "peak_bytes"):
+        value = ledger.get(key) if isinstance(ledger, dict) else None
+        if isinstance(value, (int, float)):
+            events.append({
+                "name": f"mem.attributed_{key}", "cat": "memory",
+                "ph": "C", "pid": pid, "tid": MAIN_TID,
+                "ts": round(cursor_us, 3),
+                "args": {"value": value},
+            })
     return events
 
 
@@ -194,8 +237,20 @@ def validate_trace(trace: dict) -> int:
                           or not isinstance(event.get("dur"),
                                             (int, float))):
             raise ValueError("complete event missing ts/dur")
-        if ph == "C" and "value" not in (event.get("args") or {}):
-            raise ValueError("counter event missing args.value")
+        if ph == "C":
+            args = event.get("args") or {}
+            if "value" not in args:
+                raise ValueError("counter event missing args.value")
+            if event.get("cat") == "memory":
+                value = args["value"]
+                if not isinstance(value, (int, float)) or \
+                        isinstance(value, bool) or value < 0:
+                    raise ValueError(
+                        f"memory counter {event.get('name')!r} needs "
+                        f"a non-negative numeric args.value, got "
+                        f"{value!r}")
+                if not isinstance(event.get("ts"), (int, float)):
+                    raise ValueError("memory counter missing ts")
     return len(events)
 
 

@@ -109,23 +109,41 @@ def is_enabled() -> bool:
 _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
 
 
+def _rss_peak_bytes() -> int:
+    """Peak resident set size: ``VmHWM``, else ``ru_maxrss``.
+
+    ``/proc/self/status`` reports the high-water mark in KiB; the
+    :mod:`resource` fallback is KiB on Linux too. This is the value
+    the old ``_rss_bytes`` fallback used to *mislabel* as current.
+    """
+    try:
+        with open("/proc/self/status", "rb") as fh:
+            for line in fh:
+                if line.startswith(b"VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:  # pragma: no cover - exotic platform
+        return 0
+
+
 def _rss_bytes() -> int:
-    """Resident set size via ``/proc/self/statm``, else getrusage.
+    """Current resident set size via ``/proc/self/statm``.
 
     ``statm`` field 2 is resident pages -- current RSS, cheap to read.
-    The :mod:`resource` fallback reports the *peak* RSS (in KiB on
-    Linux), which is still a usable leak signal on non-proc platforms.
+    On platforms without procfs the only portable signal is the peak
+    (an upper bound on current); callers that need the distinction
+    read the separate ``rss_peak_bytes`` sample field instead of
+    trusting a conflated fallback.
     """
     try:
         with open("/proc/self/statm", "rb") as fh:
             return int(fh.read().split()[1]) * _PAGE_SIZE
     except (OSError, IndexError, ValueError):
-        try:
-            import resource
-            return resource.getrusage(
-                resource.RUSAGE_SELF).ru_maxrss * 1024
-        except Exception:  # pragma: no cover - exotic platform
-            return 0
+        return _rss_peak_bytes()
 
 
 def sample_resources() -> dict:
@@ -134,6 +152,7 @@ def sample_resources() -> dict:
     stats = gc.get_stats()
     return {
         "rss_bytes": _rss_bytes(),
+        "rss_peak_bytes": _rss_peak_bytes(),
         "cpu_user_s": float(times.user),
         "cpu_system_s": float(times.system),
         "gc_collections": int(sum(s.get("collections", 0)
@@ -154,12 +173,18 @@ class ResourceSampler:
     """
 
     def __init__(self, interval_s: float | None = None,
-                 maxlen: int = SERIES_MAXLEN):
+                 maxlen: int = SERIES_MAXLEN,
+                 budget_bytes: int | None = None):
         self.interval_s = interval_s if interval_s else live_interval()
         self._ring: collections.deque = collections.deque(maxlen=maxlen)
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
+        # RAM-budget watchdog (repro.obs.memory): disarmed unless
+        # budget_bytes (or REPRO_MEM_BUDGET) is set, in which case
+        # every sample also checks pressure/breach.
+        from repro.obs import memory as _memory
+        self.watchdog = _memory.BudgetWatchdog(budget_bytes)
 
     def sample_once(self) -> dict:
         """Take, record, and publish one sample; returns it."""
@@ -170,9 +195,13 @@ class ResourceSampler:
         _bus.emit("resource.sample",
                   **{k: v for k, v in sample.items() if k != "ts"})
         _metrics.set_gauge("live.rss_bytes", sample["rss_bytes"])
+        _metrics.set_gauge("live.rss_peak_bytes",
+                           sample["rss_peak_bytes"])
         _metrics.set_gauge("live.cpu_user_s", sample["cpu_user_s"])
         _metrics.set_gauge("live.cpu_system_s", sample["cpu_system_s"])
         _metrics.set_gauge("live.threads", sample["threads"])
+        if self.watchdog.armed:
+            self.watchdog.observe(sample["rss_bytes"])
         return sample
 
     def _run(self) -> None:
@@ -605,6 +634,8 @@ class LiveState:
         self.planner: dict | None = None
         self.misplans = 0
         self.drift: dict | None = None
+        self.memory: dict | None = None
+        self.breaches = 0
         self.events = 0
         self.last_ts: float | None = None
 
@@ -646,6 +677,11 @@ class LiveState:
             self.planner = event
         elif type_ == "planner.drift":
             self.drift = event
+        elif type_ == "mem.pressure":
+            self.memory = event
+        elif type_ == "mem.breach":
+            self.breaches += 1
+            self.memory = event
 
     def update_many(self, events) -> None:
         """Fold an iterable of events, in order."""
@@ -656,10 +692,25 @@ class LiveState:
         """Gauge view of the state (the ``--events`` scrape surface)."""
         out: dict[str, float] = {"live.events": float(self.events)}
         if self.resources:
-            for key in ("rss_bytes", "cpu_user_s", "cpu_system_s",
-                        "threads"):
+            for key in ("rss_bytes", "rss_peak_bytes", "cpu_user_s",
+                        "cpu_system_s", "threads"):
                 if isinstance(self.resources.get(key), (int, float)):
                     out[f"live.{key}"] = float(self.resources[key])
+        # memory gauges appear only once a mem.* event was seen, so
+        # streams from budget-free runs export exactly as before
+        if self.memory is not None:
+            for key in ("budget_bytes", "rss_bytes",
+                        "attributed_bytes"):
+                if isinstance(self.memory.get(key), (int, float)):
+                    out[f"mem.{key}"] = float(self.memory[key])
+            frac = self.memory.get("frac")
+            budget = self.memory.get("budget_bytes")
+            if isinstance(frac, (int, float)):
+                out["mem.pressure"] = float(frac)
+            elif isinstance(budget, (int, float)) and budget > 0:
+                out["mem.pressure"] = float(
+                    self.memory.get("rss_bytes", 0)) / budget
+            out["mem.breaches"] = float(self.breaches)
         for (scope, __), event in self.progress.items():
             if isinstance(event.get("frac"), (int, float)):
                 out[f"live.progress.{scope}"] = float(event["frac"])
@@ -682,6 +733,34 @@ class LiveState:
             out["live.planner_drift_factor"] = float(
                 self.drift["factor"])
         return out
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of the whole state.
+
+        The ``repro top --once --json`` payload: everything
+        :func:`render_status` shows (phases, progress, resources,
+        workers, planner, memory) plus the gauge view, so CI and
+        scripts consume the live status without screen-scraping.
+        """
+        return {
+            "events": self.events,
+            "last_ts": self.last_ts,
+            "phases": list(self.phases),
+            "progress": [dict(ev) for __, ev in
+                         sorted(self.progress.items(),
+                                key=lambda kv: (kv[0][0] or "",
+                                                kv[0][1] or ""))],
+            "resources": dict(self.resources) if self.resources
+            else None,
+            "workers": {str(pid): dict(state)
+                        for pid, state in self.workers.items()},
+            "planner": dict(self.planner) if self.planner else None,
+            "misplans": self.misplans,
+            "drift": dict(self.drift) if self.drift else None,
+            "memory": dict(self.memory) if self.memory else None,
+            "breaches": self.breaches,
+            "gauges": self.to_gauges(),
+        }
 
 
 def _fmt_bytes(value: float) -> str:
@@ -727,6 +806,24 @@ def render_status(state: LiveState) -> str:
             f"   gc {res.get('gc_collections', 0)}")
     else:
         lines.append("resources: --")
+    # the memory line appears only once a mem.* event was seen (a
+    # budget-armed run), so budget-free streams render as before
+    if state.memory is not None or state.breaches:
+        ev = state.memory or {}
+        rss = ev.get("rss_bytes", 0)
+        budget = ev.get("budget_bytes", 0)
+        frac = ev.get("frac")
+        if not isinstance(frac, (int, float)):
+            frac = (rss / budget) if budget else 0.0
+        attributed = ev.get("attributed_bytes")
+        attr_txt = (f"  attributed {_fmt_bytes(attributed)}"
+                    if isinstance(attributed, (int, float)) else "")
+        breach_txt = (f"  BREACHED x{state.breaches}"
+                      if state.breaches else "")
+        lines.append(
+            f"memory   : rss {_fmt_bytes(rss)} / budget "
+            f"{_fmt_bytes(budget)} ({100 * frac:5.1f}%)"
+            f"{attr_txt}{breach_txt}")
     if state.workers:
         now = state.last_ts or time.time()
         for pid in sorted(state.workers):

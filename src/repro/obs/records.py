@@ -215,6 +215,11 @@ def collect(name: str, config: dict | None = None,
         series = _live.sampler_series()
         if series:
             metrics["resources"] = series
+    # Likewise the array ledger: the full per-tag/per-span attribution
+    # rides the record whenever REPRO_MEM_LEDGER was on for the run.
+    from repro.obs import memory as _memory
+    if _memory.is_enabled():
+        metrics["memory"] = _memory.ledger_summary()
     return RunRecord(
         name=name,
         config=dict(config or {}),

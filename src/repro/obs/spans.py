@@ -49,6 +49,8 @@ __all__ = [
 _enabled = False
 _trace_memory = False
 _profile_top_k = 0
+_alloc_top_k = 0
+_alloc_started_tracemalloc = False
 _lock = threading.Lock()
 _finished: list["Span"] = []
 
@@ -93,10 +95,15 @@ class Span:
         Only populated for top-level spans while profiling is on: the
         top-K functions by cumulative time (list of dicts -- see
         :func:`repro.obs.profiling.top_functions`).
+    alloc:
+        Only populated for top-level spans while ``REPRO_TRACEMALLOC``
+        attribution is on: the top-K net-allocating source lines over
+        the span (list of dicts -- see
+        :func:`repro.obs.memory.top_allocations`).
     """
 
     __slots__ = ("name", "attrs", "start_ns", "duration_ns", "children",
-                 "mem_delta_bytes", "mem_peak_bytes", "profile")
+                 "mem_delta_bytes", "mem_peak_bytes", "profile", "alloc")
 
     def __init__(self, name: str, attrs: dict | None = None):
         self.name = name
@@ -107,6 +114,7 @@ class Span:
         self.mem_delta_bytes: int | None = None
         self.mem_peak_bytes: int | None = None
         self.profile: list | None = None
+        self.alloc: list | None = None
 
     @property
     def duration_ms(self) -> float:
@@ -138,6 +146,8 @@ class Span:
             out["mem_peak_bytes"] = int(self.mem_peak_bytes)
         if self.profile is not None:
             out["profile"] = list(self.profile)
+        if self.alloc is not None:
+            out["alloc"] = list(self.alloc)
         if self.children:
             out["children"] = [c.to_dict() for c in self.children]
         return out
@@ -158,6 +168,8 @@ class Span:
             s.mem_peak_bytes = int(data["mem_peak_bytes"])
         if "profile" in data:
             s.profile = list(data["profile"])
+        if "alloc" in data:
+            s.alloc = list(data["alloc"])
         s.children = [cls.from_dict(c) for c in data.get("children", [])]
         return s
 
@@ -181,12 +193,13 @@ class Span:
 class _ActiveSpan:
     """Context manager driving one real (enabled) span."""
 
-    __slots__ = ("span", "_mem_start", "_profiler")
+    __slots__ = ("span", "_mem_start", "_profiler", "_alloc_before")
 
     def __init__(self, name: str, attrs: dict):
         self.span = Span(name, attrs)
         self._mem_start: int | None = None
         self._profiler = None
+        self._alloc_before = None
 
     def __enter__(self) -> Span:
         top_level = not _frames.stack
@@ -199,6 +212,12 @@ class _ActiveSpan:
         if _trace_memory:
             import tracemalloc
             self._mem_start = tracemalloc.get_traced_memory()[0]
+        if _alloc_top_k and top_level:
+            # Allocation-site attribution, like profiling: only tree
+            # roots snapshot (diffs are expensive) and descendants are
+            # covered by the root's window.
+            import tracemalloc
+            self._alloc_before = tracemalloc.take_snapshot()
         if _profile_top_k and top_level:
             # Only the root of each tree profiles: cProfile cannot
             # nest, and descendants are covered by the root's run.
@@ -216,6 +235,13 @@ class _ActiveSpan:
             from repro.obs.profiling import top_functions
             s.profile = top_functions(self._profiler, _profile_top_k)
             self._profiler = None
+        if self._alloc_before is not None:
+            import tracemalloc
+            from repro.obs.memory import top_allocations
+            s.alloc = top_allocations(
+                self._alloc_before, tracemalloc.take_snapshot(),
+                _alloc_top_k)
+            self._alloc_before = None
         if self._mem_start is not None:
             import tracemalloc
             current, peak = tracemalloc.get_traced_memory()
@@ -283,7 +309,8 @@ def span(name: str, /, **attrs):
     return _ActiveSpan(name, attrs)
 
 
-def enable(memory: bool = False, profile: int | None = None) -> None:
+def enable(memory: bool = False, profile: int | None = None,
+           alloc: int | None = None) -> None:
     """Turn span collection on (optionally with tracemalloc tracking).
 
     ``profile`` controls per-top-level-span :mod:`cProfile`
@@ -293,8 +320,15 @@ def enable(memory: bool = False, profile: int | None = None) -> None:
     :func:`repro.obs.profiling.profile_top_k_from_env` -- so every
     existing enable path (``--trace``, ``REPRO_TRACE=1``, the bench
     drivers, pool workers) picks the mode up without new plumbing.
+
+    ``alloc`` is the same design for per-top-level-span *allocation*
+    attribution (``span.alloc``, top-K net-allocating source lines):
+    ``None`` consults ``REPRO_TRACEMALLOC`` via
+    :func:`repro.obs.memory.tracemalloc_top_k_from_env`. A non-zero K
+    starts :mod:`tracemalloc` if nothing else has.
     """
-    global _enabled, _trace_memory, _profile_top_k
+    global _enabled, _trace_memory, _profile_top_k, _alloc_top_k
+    global _alloc_started_tracemalloc
     if memory:
         import tracemalloc
         if not tracemalloc.is_tracing():
@@ -305,19 +339,32 @@ def enable(memory: bool = False, profile: int | None = None) -> None:
         _profile_top_k = profile_top_k_from_env()
     else:
         _profile_top_k = max(0, int(profile))
+    if alloc is None:
+        from repro.obs.memory import tracemalloc_top_k_from_env
+        _alloc_top_k = tracemalloc_top_k_from_env()
+    else:
+        _alloc_top_k = max(0, int(alloc))
+    if _alloc_top_k:
+        import tracemalloc
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            _alloc_started_tracemalloc = True
     _enabled = True
 
 
 def disable() -> None:
     """Turn span collection off and stop tracemalloc if we started it."""
-    global _enabled, _trace_memory, _profile_top_k
+    global _enabled, _trace_memory, _profile_top_k, _alloc_top_k
+    global _alloc_started_tracemalloc
     _enabled = False
-    if _trace_memory:
+    if _trace_memory or _alloc_started_tracemalloc:
         import tracemalloc
         if tracemalloc.is_tracing():
             tracemalloc.stop()
     _trace_memory = False
     _profile_top_k = 0
+    _alloc_top_k = 0
+    _alloc_started_tracemalloc = False
 
 
 def is_enabled() -> bool:

@@ -117,3 +117,37 @@ class TestSpawnParity:
         assert cell.attrs["stalled_workers"] == 0
         count, errors = bus.validate_events(sink.events)
         assert errors == []
+
+    def test_spawn_mem_knobs_parity_and_events(self, monkeypatch):
+        """Memory knobs leave spawn results bit-identical; the
+        watchdog events the parent emits under them are schema-valid.
+        """
+        from repro.obs import memory
+        spec = _spec()
+        baseline = simulate_cost_parallel(spec, 250, seed=5,
+                                          max_workers=2,
+                                          mp_start="spawn")
+        # spawn workers re-resolve both knobs from the inherited env
+        monkeypatch.setenv(memory.MEM_LEDGER_ENV, "1")
+        monkeypatch.setenv(memory.MEM_BUDGET_ENV, "1")  # 1 B: breach
+        memory.reset()
+        monkeypatch.setattr(memory, "_enabled", None)
+        sink = bus.MemorySink()
+        bus.add_sink(sink)
+        bus.enable()
+        value = simulate_cost_parallel(spec, 250, seed=5,
+                                       max_workers=2,
+                                       mp_start="spawn")
+        live.ResourceSampler(interval_s=10.0).sample_once()
+        memory.disable()
+        memory.reset()
+
+        assert value == baseline
+        assert memory.is_enabled() is False
+        (pressure,) = sink.of_type("mem.pressure")
+        assert pressure["budget_bytes"] == 1
+        assert pressure["rss_bytes"] > 1
+        (breach,) = sink.of_type("mem.breach")
+        assert breach["action"] == "warn"
+        count, errors = bus.validate_events(sink.events)
+        assert errors == []
